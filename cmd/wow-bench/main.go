@@ -1,0 +1,153 @@
+// Command wow-bench regenerates every table and figure of the paper's
+// evaluation (§V) against the simulated testbed and prints them with the
+// paper's numbers alongside. Select experiments with -run; scale trial
+// counts with the flags below (defaults are sized to finish in a few
+// minutes of wall-clock time; use -paper-scale for the full counts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wow/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,schedulers")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
+	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
+	paperScale := flag.Bool("paper-scale", false, "use the paper's full trial counts (slower)")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
+	flag.Parse()
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+
+	if *paperScale {
+		*trials = 100
+		*jobs = 4000
+	}
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	section := func(name, title string) bool {
+		if !all && !want[name] {
+			return false
+		}
+		fmt.Printf("==== %s ====\n", title)
+		return true
+	}
+	timed := func(f func()) {
+		start := time.Now()
+		f()
+		fmt.Printf("(wall %.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if section("join", "Join latency (abstract claim)") {
+		timed(func() {
+			fmt.Println(experiments.RunJoinStats(experiments.JoinOpts{Seed: *seed, Trials: *trials * 3}).String())
+		})
+	}
+	if section("fig4", "Figure 4: ICMP profiles during node join") {
+		timed(func() {
+			res := experiments.RunFig4(experiments.JoinOpts{Seed: *seed, Trials: *trials})
+			fmt.Println(res.String())
+			for _, p := range res.Profiles {
+				writeCSV("fig4-"+p.Scenario.Name+".csv", p.CSV())
+			}
+		})
+	}
+	if section("fig5", "Figure 5: three regimes (UFL-NWU, first 50 echoes)") {
+		timed(func() {
+			p := experiments.RunJoinProfile(experiments.JoinOpts{Seed: *seed, Trials: *trials, Pings: 50},
+				experiments.JoinScenario{Name: "UFL-NWU", ASite: "ufl.edu", BSite: "northwestern.edu"})
+			for i := 0; i < 50; i++ {
+				fmt.Printf("  seq %2d: loss %5.1f%%  rtt %7.1f ms\n", i+1, p.LossPct[i], p.RTTms[i])
+			}
+			r, s := p.Regimes()
+			fmt.Printf("  regime 1 ends ~seq %d (routable); regime 3 begins ~seq %d (shortcut)\n", r, s)
+		})
+	}
+	if section("table2", "Table II: ttcp bandwidth") {
+		timed(func() {
+			fmt.Println(experiments.RunTable2(experiments.Table2Opts{Seed: *seed}).String())
+		})
+	}
+	if section("fig6", "Figure 6: SCP transfer across server migration") {
+		timed(func() {
+			res := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
+			fmt.Println(res.String())
+			writeCSV("fig6-progress.csv", res.Progress.CSV())
+		})
+	}
+	if section("fig7", "Figure 7: PBS job stream across worker migration") {
+		timed(func() {
+			fmt.Println(experiments.RunFig7(experiments.Fig7Opts{Seed: *seed}).String())
+		})
+	}
+	if section("fig8", "Figure 8 / §V-D1: MEME batch throughput") {
+		timed(func() {
+			for _, sc := range []bool{true, false} {
+				fmt.Println(experiments.RunFig8(experiments.Fig8Opts{Seed: *seed, Jobs: *jobs, Shortcuts: sc}).String())
+			}
+		})
+	}
+	if section("table3", "Table III: fastDNAml-PVM") {
+		timed(func() {
+			fmt.Println(experiments.RunTable3(experiments.Table3Opts{Seed: *seed}).String())
+		})
+	}
+	if section("outage", "§V-C: IPOP kill/restart no-routability window") {
+		timed(func() {
+			fmt.Println(experiments.RunOutage(experiments.OutageOpts{Seed: *seed}).String())
+		})
+	}
+	if section("virt", "§V-D1: virtualization overhead") {
+		timed(func() {
+			fmt.Println(experiments.RunVirtOverhead(*seed).String())
+		})
+	}
+	if section("resilience", "Resilience: NAT rebinding, churn, live migration") {
+		timed(func() {
+			fmt.Println(experiments.RunNATRebind(*seed, 3).String())
+			fmt.Println(experiments.RunChurn(*seed, 0.25).String())
+			fmt.Println(experiments.RunLiveMigration(*seed).String())
+		})
+	}
+	if section("schedulers", "Middleware comparison: PBS vs Condor") {
+		timed(func() {
+			fmt.Println(experiments.RunSchedulerComparison(*seed, *jobs/2).String())
+		})
+	}
+	if section("ablations", "Design ablations") {
+		timed(func() {
+			ao := experiments.AblationOpts{Seed: *seed}
+			fmt.Println(experiments.RunFarCountAblation(ao, nil).String())
+			fmt.Println(experiments.RunThresholdAblation(ao, nil).String())
+			fmt.Println(experiments.RunURIOrderAblation(ao, 5).String())
+			fmt.Println(experiments.RunRingSizeAblation(ao, nil, 5).String())
+			fmt.Println(experiments.RunTransportAblation(ao).String())
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command discovery demonstrates the paper's §VI future-work direction —
+// decentralized resource discovery — implemented here as a DHT over the
+// Brunet ring: every workstation advertises itself under a well-known key
+// with a TTL; any node enumerates the live pool with one lookup; crashed
+// machines age out with no central collector anywhere.
+package main
+
+import (
+	"fmt"
+
+	"wow/internal/brunet"
+	"wow/internal/core"
+	"wow/internal/dht"
+	"wow/internal/phys"
+	"wow/internal/sim"
+	"wow/internal/vip"
+	"wow/internal/vm"
+)
+
+func main() {
+	s := sim.New(11)
+	net := phys.NewNetwork(s, phys.UniformLatency(
+		phys.PathModel{OneWay: 500 * sim.Microsecond},
+		phys.PathModel{OneWay: 15 * sim.Millisecond},
+	))
+	wow := core.New(s, core.Options{Shortcuts: true, Brunet: brunet.DefaultConfig()})
+
+	// Every overlay node participates in the DHT: key ownership follows
+	// ring positions, so routers store and serve entries too.
+	var routerDHTs []*dht.DHT
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("router%02d", i)
+		h := net.AddHost(name, net.AddSite(name), net.Root(), phys.HostConfig{})
+		r, err := wow.AddRouter(h, name)
+		if err != nil {
+			panic(err)
+		}
+		routerDHTs = append(routerDHTs, dht.New(r.Overlay(), dht.Config{}))
+		s.RunFor(2 * sim.Second)
+	}
+	s.RunFor(30 * sim.Second)
+
+	// Six workstations of varying speeds; each runs a DHT client and
+	// advertises itself into "pool/compute" every 2 minutes.
+	speeds := []float64{1.0, 1.0, 1.33, 0.83, 0.49, 1.33}
+	var vms []*vm.VM
+	var discs []*dht.Discovery
+	for i, speed := range speeds {
+		name := fmt.Sprintf("node%03d", i+2)
+		h := net.AddHost(name+"-host", net.AddSite(name), net.Root(), phys.HostConfig{
+			ServiceTime: 400 * sim.Microsecond, Bandwidth: 1.7e6,
+		})
+		v, err := wow.AddWorkstation(h, vip.MustParseIP(fmt.Sprintf("172.16.1.%d", i+2)), vm.Spec{Name: name, CPUSpeed: speed})
+		if err != nil {
+			panic(err)
+		}
+		vms = append(vms, v)
+		d := dht.New(v.Node().Overlay(), dht.Config{})
+		disc := dht.NewDiscovery(d, "pool/compute")
+		disc.Advertise(dht.Advert{Name: name, Speed: speed}, 2*sim.Minute)
+		discs = append(discs, disc)
+	}
+	s.RunFor(sim.Minute)
+
+	lister := dht.NewDiscovery(routerDHTs[3], "pool/compute")
+	list := func(when string) {
+		lister.List(func(ads []dht.Advert, ok bool) {
+			fmt.Printf("%s: pool has %d machines:\n", when, len(ads))
+			for _, ad := range ads {
+				fmt.Printf("  %-10s speed %.2f\n", ad.Name, ad.Speed)
+			}
+		})
+		s.RunFor(15 * sim.Second)
+	}
+
+	list("t+1m (all advertising)")
+
+	// node006 (the slow one) crashes: no deregistration, no collector —
+	// its advert simply stops being refreshed and expires.
+	fmt.Println("\nnode006 crashes (no deregistration anywhere)...")
+	discs[4].StopAdvertising()
+	vms[4].Shutdown()
+	s.RunFor(5 * sim.Minute)
+
+	list("t+6m (crashed node aged out)")
+}

@@ -1,0 +1,3 @@
+module wow
+
+go 1.22

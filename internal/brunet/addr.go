@@ -1,0 +1,173 @@
+// Package brunet implements the structured peer-to-peer overlay at the core
+// of WOW, following the Brunet protocol suite described in §IV of the
+// paper: a ring of nodes ordered by 160-bit addresses, greedy routing over
+// structured near and far connections, a connection protocol (Connect-To-Me
+// requests routed over the overlay), a linking protocol (direct handshakes
+// that try a peer's URIs one by one, punching holes through NATs), and
+// adaptive shortcut connections driven by traffic inspection.
+package brunet
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AddrBytes is the size of a Brunet address: 160 bits.
+const AddrBytes = 20
+
+// Addr is a 160-bit Brunet P2P address. Nodes are ordered around a ring by
+// these addresses; all routing metrics derive from ring distance.
+type Addr [AddrBytes]byte
+
+// Zero is the all-zero address; used as "unset".
+var Zero Addr
+
+// IsZero reports whether a is the unset address.
+func (a Addr) IsZero() bool { return a == Zero }
+
+// String renders the first 8 hex digits, enough to identify nodes in logs.
+func (a Addr) String() string { return hex.EncodeToString(a[:4]) }
+
+// FullString renders all 40 hex digits.
+func (a Addr) FullString() string { return hex.EncodeToString(a[:]) }
+
+// AddrFromString derives a deterministic address by hashing s with SHA-1.
+// WOW uses it to map virtual IPs to P2P addresses so that a migrated VM
+// keeps its overlay identity.
+func AddrFromString(s string) Addr {
+	return Addr(sha1.Sum([]byte(s)))
+}
+
+// RandomAddr draws a uniformly random address from rng.
+func RandomAddr(rng *rand.Rand) Addr {
+	var a Addr
+	for i := 0; i < AddrBytes; i += 4 {
+		v := rng.Uint32()
+		a[i] = byte(v >> 24)
+		a[i+1] = byte(v >> 16)
+		a[i+2] = byte(v >> 8)
+		a[i+3] = byte(v)
+	}
+	return a
+}
+
+// Cmp compares addresses as 160-bit big-endian unsigned integers,
+// returning -1, 0 or 1.
+func (a Addr) Cmp(b Addr) int {
+	for i := 0; i < AddrBytes; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports a < b in address order.
+func (a Addr) Less(b Addr) bool { return a.Cmp(b) < 0 }
+
+// addModRing returns (a + b) mod 2^160.
+func addModRing(a, b Addr) Addr {
+	var out Addr
+	carry := 0
+	for i := AddrBytes - 1; i >= 0; i-- {
+		s := int(a[i]) + int(b[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// subModRing returns (a - b) mod 2^160.
+func subModRing(a, b Addr) Addr {
+	var out Addr
+	borrow := 0
+	for i := AddrBytes - 1; i >= 0; i-- {
+		d := int(a[i]) - int(b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// Clockwise returns the clockwise (increasing-address) ring distance from a
+// to b: (b - a) mod 2^160.
+func (a Addr) Clockwise(b Addr) Addr { return subModRing(b, a) }
+
+// RingDist returns the bidirectional ring distance between a and b: the
+// smaller of the clockwise and counter-clockwise distances. Greedy routing
+// minimizes this metric, per §IV-A.
+func (a Addr) RingDist(b Addr) Addr {
+	cw := subModRing(b, a)
+	ccw := subModRing(a, b)
+	if cw.Cmp(ccw) <= 0 {
+		return cw
+	}
+	return ccw
+}
+
+// Between reports whether x lies strictly within the clockwise arc from a
+// to b. The arc from a to a is the whole ring minus a itself.
+func Between(x, a, b Addr) bool {
+	if x == a || x == b {
+		return false
+	}
+	return a.Clockwise(x).Cmp(a.Clockwise(b)) < 0 || a == b
+}
+
+// Offset returns a + offset on the ring.
+func (a Addr) Offset(offset Addr) Addr { return addModRing(a, offset) }
+
+// Float64 maps the address to [0, 1) with ~52 bits of precision; used by
+// the Kleinberg far-connection sampler.
+func (a Addr) Float64() float64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(a[i])
+	}
+	return float64(v) / math.Exp2(64)
+}
+
+// AddrFromFloat maps u in [0, 1) to an address (inverse of Float64, with
+// the low 96 bits zero).
+func AddrFromFloat(u float64) Addr {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := uint64(u * math.Exp2(64))
+	var a Addr
+	for i := 7; i >= 0; i-- {
+		a[i] = byte(v)
+		v >>= 8
+	}
+	return a
+}
+
+// KleinbergOffset samples a clockwise ring offset with probability density
+// proportional to 1/d, the small-world distribution of the paper's
+// reference [37] that yields O((1/k)·log²n) routing. Offsets span
+// [2^-b, 1/2) of the ring, with b chosen so the smallest offsets are still
+// beyond immediate neighbors in networks of realistic size.
+func KleinbergOffset(rng *rand.Rand) Addr {
+	const minExp = -40.0 // 2^-40 of the ring: far beyond near neighbors
+	const maxExp = -1.0  // half the ring
+	e := minExp + rng.Float64()*(maxExp-minExp)
+	return AddrFromFloat(math.Exp2(e))
+}
+
+// Fmt renders a short diagnostic form "addr/offset-fraction" used in ring
+// dumps.
+func (a Addr) Fmt() string { return fmt.Sprintf("%s(%.4f)", a.String(), a.Float64()) }

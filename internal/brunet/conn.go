@@ -1,0 +1,294 @@
+package brunet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// Connection is an established overlay link to a peer. A single physical
+// flow may serve several roles (a structured-near link can also be a
+// shortcut); Types records the set. Idle connections are kept alive by
+// pings with retransmission and exponential backoff; unresponded pings
+// mark the connection dead and it is discarded (§IV-B).
+type Connection struct {
+	Peer Addr
+	// EP is the peer's working physical endpoint — the URI that
+	// survived the linking protocol's trials.
+	EP phys.Endpoint
+	// Stream is the TCP-transport link carrying this connection, nil
+	// for UDP-transport connections (§IV-A: "connections between Brunet
+	// nodes are abstracted and may operate over any transport").
+	Stream *phys.Stream
+	// URIs is the peer's last advertised URI list, kept for status
+	// gossip and relinking.
+	URIs []URI
+
+	types     map[ConnType]bool
+	lastHeard sim.Time
+	pingTimer *sim.Event
+	pingRetry int
+	awaiting  uint64 // outstanding ping seq; 0 = none
+	closed    bool
+}
+
+// Has reports whether the connection serves the given role.
+func (c *Connection) Has(t ConnType) bool { return c.types[t] }
+
+// Types lists the connection's roles in sorted order.
+func (c *Connection) Types() []ConnType {
+	out := make([]ConnType, 0, len(c.types))
+	for t := range c.types {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addType adds a role.
+func (c *Connection) addType(t ConnType) { c.types[t] = true }
+
+// dropType removes a role; reports whether any roles remain.
+func (c *Connection) dropType(t ConnType) bool {
+	delete(c.types, t)
+	return len(c.types) > 0
+}
+
+// structured reports whether the connection carries ring-routing roles.
+func (c *Connection) structured() bool {
+	return c.types[StructuredNear] || c.types[StructuredFar] || c.types[Shortcut]
+}
+
+// Transport names the connection's link transport.
+func (c *Connection) Transport() string {
+	if c.Stream != nil {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// String renders "peer[types]@transport:endpoint".
+func (c *Connection) String() string {
+	names := make([]string, 0, len(c.types))
+	for _, t := range c.Types() {
+		names = append(names, t.String())
+	}
+	return fmt.Sprintf("%s[%s]@%s:%s", c.Peer, strings.Join(names, ","), c.Transport(), c.EP)
+}
+
+// addConnection records a new connection or adds a role to an existing
+// one. It returns the connection. stream is non-nil for TCP-transport
+// links.
+func (n *Node) addConnection(peer Addr, ep phys.Endpoint, stream *phys.Stream, uris []URI, t ConnType) *Connection {
+	c, ok := n.conns[peer]
+	if !ok {
+		c = &Connection{
+			Peer:      peer,
+			EP:        ep,
+			Stream:    stream,
+			types:     make(map[ConnType]bool),
+			lastHeard: n.sim.Now(),
+		}
+		n.conns[peer] = c
+		n.Stats.Inc("conn.created", 1)
+		n.watchStream(c)
+		n.schedulePing(c)
+	} else {
+		// Relink: the peer may have moved (VM migration assigns new
+		// physical endpoints); adopt the fresh endpoint/transport.
+		c.EP = ep
+		if stream != nil && stream != c.Stream {
+			c.Stream = stream
+			n.watchStream(c)
+		}
+		c.lastHeard = n.sim.Now()
+	}
+	if len(uris) > 0 {
+		c.URIs = uris
+	}
+	if !c.types[t] {
+		c.addType(t)
+		n.Stats.Inc("conn."+t.String(), 1)
+	}
+	n.notifyConn(c)
+	return c
+}
+
+// watchStream ties a TCP-transport connection's fate to its stream: when
+// the kernel connection dies, the overlay link dies with it immediately —
+// one advantage of the TCP transport over UDP's ping-timeout detection.
+func (n *Node) watchStream(c *Connection) {
+	if c.Stream == nil {
+		return
+	}
+	st := c.Stream
+	st.OnClose(func(err error) {
+		if !c.closed && n.conns[c.Peer] == c && c.Stream == st {
+			n.Stats.Inc("conn.stream_closed", 1)
+			n.dropConnection(c, false, "stream")
+		}
+	})
+}
+
+// sendConn transmits a link-layer or overlay message over the
+// connection's transport.
+func (n *Node) sendConn(c *Connection, size int, payload any) {
+	if !n.up || c.closed {
+		return
+	}
+	if c.Stream != nil {
+		c.Stream.SendMsg(size, payload)
+		return
+	}
+	n.sendDirect(c.EP, size, payload)
+}
+
+// dropConnection removes a connection entirely, with an optional close
+// message to the peer.
+func (n *Node) dropConnection(c *Connection, sendClose bool, reason string) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.pingTimer != nil {
+		c.pingTimer.Cancel()
+	}
+	delete(n.conns, c.Peer)
+	n.Stats.Inc("conn.dropped."+reason, 1)
+	if sendClose && n.up {
+		if c.Stream != nil {
+			c.Stream.SendMsg(pingMsgSize, closeMsg{From: n.addr})
+		} else {
+			n.sendDirect(c.EP, pingMsgSize, closeMsg{From: n.addr})
+		}
+	}
+	if c.Stream != nil {
+		c.Stream.Close()
+	}
+	n.notifyDisc(c)
+}
+
+// Connections returns a snapshot of all live connections.
+func (n *Node) Connections() []*Connection {
+	out := make([]*Connection, 0, len(n.conns))
+	for _, c := range n.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer.Less(out[j].Peer) })
+	return out
+}
+
+// ConnectionTo returns the connection to peer, or nil.
+func (n *Node) ConnectionTo(peer Addr) *Connection { return n.conns[peer] }
+
+// connsOfType returns live connections carrying role t.
+func (n *Node) connsOfType(t ConnType) []*Connection {
+	var out []*Connection
+	for _, c := range n.conns {
+		if c.types[t] {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer.Less(out[j].Peer) })
+	return out
+}
+
+// touch refreshes liveness state on any traffic from the peer.
+func (n *Node) touch(c *Connection) {
+	c.lastHeard = n.sim.Now()
+	c.pingRetry = 0
+	c.awaiting = 0
+}
+
+// schedulePing arms the keepalive timer for a connection.
+func (n *Node) schedulePing(c *Connection) {
+	jitter := n.cfg.PingInterval / 10
+	c.pingTimer = n.sim.After(n.cfg.PingInterval+sim.Duration(n.sim.Rand().Int63n(int64(jitter)+1)), func() {
+		n.pingTick(c)
+	})
+}
+
+// pingTick sends a keepalive ping and arms the retry/backoff machinery.
+func (n *Node) pingTick(c *Connection) {
+	if c.closed || !n.up {
+		return
+	}
+	// Fresh traffic counts as liveness; skip the ping round.
+	if n.sim.Now().Sub(c.lastHeard) < n.cfg.PingInterval/2 {
+		n.schedulePing(c)
+		return
+	}
+	n.pingSeq++
+	c.awaiting = n.pingSeq
+	c.pingRetry = 0
+	n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
+	n.Stats.Inc("ping.sent", 1)
+	n.armPingTimeout(c, n.cfg.PingTimeout)
+}
+
+// armPingTimeout waits for a pong; on timeout it resends with exponential
+// backoff, and after PingRetries declares the connection dead — the
+// mechanism that eventually clears state for crashed or migrated peers.
+func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
+	c.pingTimer = n.sim.After(wait, func() {
+		if c.closed || c.awaiting == 0 {
+			n.schedulePing(c)
+			return
+		}
+		if c.pingRetry >= n.cfg.PingRetries {
+			n.Stats.Inc("ping.dead", 1)
+			n.dropConnection(c, false, "timeout")
+			return
+		}
+		c.pingRetry++
+		n.pingSeq++
+		c.awaiting = n.pingSeq
+		n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
+		n.Stats.Inc("ping.resent", 1)
+		n.armPingTimeout(c, wait*2)
+	})
+}
+
+// nearestConn returns the structured connection whose peer is closest to
+// dst by ring distance, excluding a peer address (no-backtrack). Leaf
+// connections participate only on exact address match, since leaf children
+// are not ring routers.
+func (n *Node) nearestConn(dst Addr, exclude Addr) *Connection {
+	var best *Connection
+	var bestDist Addr
+	for _, c := range n.conns {
+		if c.Peer == exclude {
+			continue
+		}
+		if !c.structured() {
+			if c.Peer == dst && c.types[Leaf] {
+				return c
+			}
+			continue
+		}
+		d := c.Peer.RingDist(dst)
+		if best == nil || d.Cmp(bestDist) < 0 || (d.Cmp(bestDist) == 0 && c.Peer.Less(best.Peer)) {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// neighborsOnSide returns structured-near peers sorted by clockwise
+// (right=true) or counter-clockwise distance from this node.
+func (n *Node) neighborsOnSide(right bool) []*Connection {
+	conns := n.connsOfType(StructuredNear)
+	sort.Slice(conns, func(i, j int) bool {
+		var di, dj Addr
+		if right {
+			di, dj = n.addr.Clockwise(conns[i].Peer), n.addr.Clockwise(conns[j].Peer)
+		} else {
+			di, dj = conns[i].Peer.Clockwise(n.addr), conns[j].Peer.Clockwise(n.addr)
+		}
+		return di.Cmp(dj) < 0
+	})
+	return conns
+}

@@ -1,0 +1,35 @@
+package brunet
+
+import "testing"
+
+// FuzzRingMath exercises the 160-bit modular arithmetic invariants with
+// arbitrary byte patterns.
+func FuzzRingMath(f *testing.F) {
+	f.Add(make([]byte, 40), false)
+	f.Add([]byte("0123456789012345678901234567890123456789"), true)
+	f.Fuzz(func(t *testing.T, raw []byte, flip bool) {
+		if len(raw) < 2*AddrBytes {
+			return
+		}
+		var a, b Addr
+		copy(a[:], raw[:AddrBytes])
+		copy(b[:], raw[AddrBytes:2*AddrBytes])
+		if flip {
+			a, b = b, a
+		}
+		if subModRing(addModRing(a, b), b) != a {
+			t.Fatal("add/sub not inverse")
+		}
+		if a.RingDist(b) != b.RingDist(a) {
+			t.Fatal("RingDist asymmetric")
+		}
+		if a != b {
+			cw := Between(a.Offset(AddrFromFloat(0)), a, b) // a itself: never between
+			if cw {
+				t.Fatal("endpoint reported between")
+			}
+		}
+		_ = a.Fmt()
+		_ = a.Float64()
+	})
+}

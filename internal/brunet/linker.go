@@ -1,0 +1,288 @@
+package brunet
+
+import (
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// linker runs one side of the linking protocol (§IV-B2): it works through
+// the target's URI list one entry at a time, resending link requests with
+// exponential backoff, and moving to the next URI after a retry budget is
+// exhausted. The paper notes the conservative constants lead to delays of
+// ~150s before giving up on a bad URI — exactly the mechanism behind the
+// slow UFL-UFL shortcut formation in Figure 4 — and those constants are
+// Config fields here (LinkResend, LinkBackoff, LinkRetries).
+type linker struct {
+	node   *Node
+	target Addr
+	ctype  ConnType
+	uris   []URI
+	token  uint64
+
+	uriIdx  int
+	attempt int
+	timer   *sim.Event
+	stream  *phys.Stream // active TCP-transport attempt, if any
+	done    bool
+	yielded bool
+}
+
+// startLinker begins a linking attempt toward target using its URI list.
+// If a linker for the target is already active the call is a no-op — the
+// outstanding attempt will complete (or fail) on its own.
+func (n *Node) startLinker(target Addr, uris []URI, t ConnType) {
+	if target == n.addr || len(uris) == 0 {
+		return
+	}
+	if c, ok := n.conns[target]; ok && c.Has(t) {
+		return // already linked in this role
+	}
+	if _, active := n.linkers[target]; active {
+		return
+	}
+	n.tokenSeq++
+	// Trial order: the node's own preferred transport first (stable, so
+	// the paper's public-before-private order is preserved within each
+	// transport). A TCP-preferring node behind a UDP-hostile firewall
+	// thus dials streams outward immediately instead of burning the
+	// full retry budget on unreachable UDP endpoints.
+	ordered := make([]URI, 0, len(uris))
+	for _, u := range uris {
+		if u.Transport == n.cfg.Transport {
+			ordered = append(ordered, u)
+		}
+	}
+	for _, u := range uris {
+		if u.Transport != n.cfg.Transport {
+			ordered = append(ordered, u)
+		}
+	}
+	lk := &linker{node: n, target: target, ctype: t, uris: ordered, token: n.tokenSeq}
+	n.linkers[target] = lk
+	n.Stats.Inc("link.attempts", 1)
+	lk.sendRequest()
+}
+
+// sendRequest transmits the current link request and arms the resend timer.
+func (lk *linker) sendRequest() {
+	n := lk.node
+	if lk.done || !n.up {
+		lk.finish(false)
+		return
+	}
+	if lk.uriIdx >= len(lk.uris) {
+		// All URIs exhausted: give up. Higher layers (overlords)
+		// re-issue CTMs with their own backoff.
+		n.Stats.Inc("link.giveup", 1)
+		lk.finish(false)
+		return
+	}
+	uri := lk.uris[lk.uriIdx]
+	req := linkRequest{
+		From:  n.addr,
+		To:    lk.target,
+		Type:  lk.ctype,
+		Token: lk.token,
+		Seq:   lk.attempt,
+		URIs:  n.URIs(),
+	}
+	size := linkMsgSize + 16*len(req.URIs)
+	if uri.Transport == "tcp" {
+		// TCP-transport URI: the handshake rides a kernel stream.
+		if lk.stream == nil {
+			lk.stream = n.host.DialStream(uri.EP)
+			st := lk.stream
+			st.OnMessage(func(sz int, payload any) {
+				n.handleWire(wire{stream: st}, payload)
+			})
+			st.OnClose(func(err error) {
+				if err != nil && !lk.done && lk.stream == st {
+					// Stream failed: try the next URI.
+					lk.stream = nil
+					if lk.timer != nil {
+						lk.timer.Cancel()
+					}
+					lk.uriIdx++
+					lk.attempt = 0
+					lk.sendRequest()
+				}
+			})
+		}
+		lk.stream.SendMsg(size, req)
+	} else {
+		n.sendDirect(uri.EP, size, req)
+	}
+	n.Stats.Inc("link.requests", 1)
+
+	wait := lk.node.cfg.LinkResend
+	for i := 0; i < lk.attempt; i++ {
+		wait = sim.Duration(float64(wait) * lk.node.cfg.LinkBackoff)
+	}
+	lk.timer = n.sim.After(wait, func() {
+		if lk.done {
+			return
+		}
+		lk.attempt++
+		if lk.attempt > n.cfg.LinkRetries {
+			// Give up on this URI; restart the handshake over the
+			// next one in the list (§IV-D).
+			n.Stats.Inc("link.uri_exhausted", 1)
+			lk.abandonStream()
+			lk.uriIdx++
+			lk.attempt = 0
+		}
+		lk.sendRequest()
+	})
+}
+
+// abandonStream detaches a pending TCP-transport attempt. The stream is
+// never closed here: with bidirectional linking the peer may already have
+// adopted it as the connection's transport (our request reached them even
+// though we are yielding the race). Streams that end up orphaned on both
+// ends carry no keepalive traffic and are reaped by the physical layer's
+// idle collector.
+func (lk *linker) abandonStream() {
+	lk.stream = nil
+}
+
+// finish terminates the linker and deregisters it.
+func (lk *linker) finish(ok bool) {
+	if lk.done {
+		return
+	}
+	lk.done = true
+	if lk.timer != nil {
+		lk.timer.Cancel()
+	}
+	if !ok {
+		lk.abandonStream()
+	}
+	delete(lk.node.linkers, lk.target)
+	if ok {
+		lk.node.Stats.Inc("link.success", 1)
+	}
+}
+
+// handleLinkRequest is the responder side of the handshake. The responder
+// records the connection state immediately and replies over the physical
+// network; the requester's endpoint is whatever source address arrived on
+// the wire (NAT-translated en route). The reply carries that observed
+// endpoint so NATed initiators learn their public URIs (§IV-C).
+//
+// Linking races — both ends initiating simultaneously after a CTM exchange
+// — are broken deterministically: the node with the smaller address keeps
+// its attempt and answers the peer with a link error; the larger-address
+// node abandons its own attempt and services the peer's. (The paper breaks
+// the race with first-mover link errors plus randomized restarts; a
+// deterministic tie-break converges to the same single-winner outcome
+// without the restart round-trips.)
+func (n *Node) handleLinkRequest(w wire, req linkRequest) {
+	src := w.observed()
+	if req.To != n.addr && !req.To.IsZero() {
+		// NAT rebinding or stale URI delivered this to the wrong
+		// node: refuse so the initiator tries its next URI.
+		n.replyTo(w, linkMsgSize, linkError{From: n.addr, Token: req.Token, Reason: "wrong target"})
+		return
+	}
+	if lk, active := n.linkers[req.From]; active && !lk.yielded {
+		if n.addr.Less(req.From) {
+			// We win: tell the peer to stand down; our own attempt
+			// continues.
+			n.Stats.Inc("link.race_won", 1)
+			n.replyTo(w, linkMsgSize, linkError{From: n.addr, Token: req.Token, Reason: "busy"})
+			return
+		}
+		// We lose: abandon our attempt and serve theirs.
+		n.Stats.Inc("link.race_yield", 1)
+		lk.yielded = true
+		lk.finish(false)
+	}
+	c := n.addConnection(req.From, src, w.stream, req.URIs, req.Type)
+	n.touch(c)
+	reply := linkReply{
+		From:     n.addr,
+		Token:    req.Token,
+		URIs:     n.URIs(),
+		Observed: URIEndpoint{URI: URI{Transport: w.transport(), EP: src}},
+	}
+	n.replyTo(w, linkMsgSize+16*len(reply.URIs), reply)
+}
+
+// handleLinkReply completes the initiator side of the handshake.
+func (n *Node) handleLinkReply(w wire, rep linkReply) {
+	src := w.observed()
+	// Learn our own NAT-assigned URI from the responder's observation.
+	if n.learnURI(rep.Observed.URI) {
+		n.Stats.Inc("uri.learned", 1)
+	}
+	lk, ok := n.linkers[rep.From]
+	if !ok {
+		// Leaf bootstrap linkers don't know the target's address in
+		// advance (§IV-C: a new node only has bootstrap URIs); they
+		// are registered under the zero address and matched by token.
+		if zlk, zok := n.linkers[Zero]; zok && zlk.token == rep.Token {
+			lk, ok = zlk, true
+			delete(n.linkers, Zero)
+			n.linkers[rep.From] = lk
+			lk.target = rep.From
+		}
+	}
+	if !ok || lk.token != rep.Token {
+		// Duplicate or stale reply; refresh liveness if connected.
+		if c, live := n.conns[rep.From]; live {
+			n.touch(c)
+		}
+		return
+	}
+	c := n.addConnection(rep.From, src, lk.stream, rep.URIs, lk.ctype)
+	n.touch(c)
+	lk.stream = nil // the connection owns it now
+	lk.finish(true)
+}
+
+// handleLinkError aborts the corresponding attempt. A "busy" error means
+// the peer's symmetric attempt is in flight and will soon establish the
+// connection from its side; any other reason advances to the next URI.
+func (n *Node) handleLinkError(rep linkError) {
+	lk, ok := n.linkers[rep.From]
+	if !ok || lk.token != rep.Token {
+		return
+	}
+	if rep.Reason == "busy" {
+		// The peer's symmetric attempt is in flight; usually it will
+		// establish the connection from its side. But when our
+		// middleboxes defeat inbound linking (e.g. a TCP-only node
+		// behind a stateful firewall), only OUR outbound handshake can
+		// ever succeed — so, per §IV-B2, restart with a randomized
+		// exponential backoff rather than yielding forever.
+		lk.yielded = true
+		target, uris, ctype := lk.target, lk.uris, lk.ctype
+		lk.finish(false)
+		n.busyRetry[target]++
+		shift := n.busyRetry[target]
+		if shift > 5 {
+			shift = 5
+		}
+		backoff := n.cfg.LinkResend * sim.Duration(1<<uint(shift))
+		backoff += sim.Duration(n.sim.Rand().Int63n(int64(backoff) + 1))
+		n.sim.After(backoff, func() {
+			if !n.up {
+				return
+			}
+			if c, ok := n.conns[target]; ok && c.Has(ctype) {
+				n.busyRetry[target] = 0
+				return // the peer's attempt won after all
+			}
+			n.startLinker(target, uris, ctype)
+		})
+		return
+	}
+	// Wrong target: this URI reaches somebody else now; try the next.
+	if lk.timer != nil {
+		lk.timer.Cancel()
+	}
+	lk.abandonStream()
+	lk.uriIdx++
+	lk.attempt = 0
+	lk.sendRequest()
+}

@@ -1,0 +1,179 @@
+package brunet
+
+import "fmt"
+
+// ConnType classifies overlay connections (§IV-A).
+type ConnType int
+
+const (
+	// Leaf connections bootstrap new nodes onto the overlay: a
+	// unidirectional link to a well-known node that forwards traffic
+	// until the newcomer is routable.
+	Leaf ConnType = iota
+	// StructuredNear connections join a node to its nearest ring
+	// neighbors; they define ring consistency and routability.
+	StructuredNear
+	// StructuredFar connections are long-range links that cut the
+	// average overlay path to O((1/k)·log²n) hops.
+	StructuredFar
+	// Shortcut connections are created on demand between communicating
+	// nodes by the ShortcutConnectionOverlord, collapsing multi-hop
+	// virtual-IP paths to a single overlay hop.
+	Shortcut
+)
+
+// String names the connection type.
+func (t ConnType) String() string {
+	switch t {
+	case Leaf:
+		return "leaf"
+	case StructuredNear:
+		return "structured.near"
+	case StructuredFar:
+		return "structured.far"
+	case Shortcut:
+		return "shortcut"
+	}
+	return fmt.Sprintf("ConnType(%d)", int(t))
+}
+
+// Wire header and message size estimates (bytes). Payload sizes ride on
+// top; the physical layer charges transmission time for the total.
+const (
+	linkMsgSize    = 96
+	pingMsgSize    = 40
+	overlayHdrSize = 48
+	ctmMsgSize     = 64 // plus ~16 per carried URI
+	statusMsgSize  = 48 // plus ~24 per advertised neighbor
+)
+
+// linkRequest begins or continues the linking protocol handshake (§IV-B2),
+// sent directly over the physical network to one of the target's URIs.
+type linkRequest struct {
+	From  Addr
+	To    Addr // intended target; a NAT-forwarded packet may reach the wrong node
+	Type  ConnType
+	Token uint64 // identifies one linking attempt across resends
+	Seq   int    // resend counter within the attempt
+	URIs  []URI  // initiator's URIs, so the responder can reciprocate state
+}
+
+// linkReply acknowledges a linkRequest over the physical network.
+type linkReply struct {
+	From     Addr
+	Token    uint64
+	URIs     []URI
+	Observed URIEndpoint // the source endpoint the responder saw: NAT discovery
+}
+
+// URIEndpoint wraps the observed endpoint in the reply, letting initiators
+// behind NATs learn their NAT-assigned IP/port (§IV-C).
+type URIEndpoint struct {
+	URI URI
+}
+
+// linkError rejects a linkRequest, breaking linking races: the loser gives
+// up its active attempt and lets the winner's handshake finish (§IV-B2).
+type linkError struct {
+	From   Addr
+	Token  uint64
+	Reason string
+}
+
+// pingMsg keeps an idle connection alive (§IV-B); unresponded pings mark
+// the connection dead.
+type pingMsg struct {
+	From Addr
+	Seq  uint64
+}
+
+// pongMsg answers a ping.
+type pongMsg struct {
+	From Addr
+	Seq  uint64
+}
+
+// closeMsg announces graceful connection teardown.
+type closeMsg struct {
+	From Addr
+}
+
+// statusMsg is exchanged over structured near connections, advertising a
+// node's current ring neighborhood so peers can discover closer neighbors
+// (ring repair and convergence).
+type statusMsg struct {
+	From      Addr
+	Neighbors []NeighborInfo
+}
+
+// NeighborInfo names one ring neighbor and how to reach it.
+type NeighborInfo struct {
+	Addr Addr
+	URIs []URI
+}
+
+// DeliveryMode selects how an overlay packet terminates (§IV-A: "the
+// packet is eventually delivered to the destination; or if the destination
+// is down, it is delivered to its nearest neighbors").
+type DeliveryMode int
+
+const (
+	// DeliverNearest hands the packet to whichever node is closest to
+	// the destination address — the mode used by CTM requests, enabling
+	// join-by-routing-to-self and far-connection targeting.
+	DeliverNearest DeliveryMode = iota
+	// DeliverExact drops the packet at the nearest node unless it is
+	// the addressee — the mode used by tunnelled IP traffic.
+	DeliverExact
+)
+
+// OverlayPacket is a packet routed greedily over overlay connections.
+type OverlayPacket struct {
+	Src, Dst Addr
+	Mode     DeliveryMode
+	Hops     int
+	MaxHops  int
+	Size     int
+	Payload  any
+}
+
+// ctmRequest is the Connect-To-Me message of the connection protocol
+// (§IV-B1), routed over the overlay to the target address.
+type ctmRequest struct {
+	From  Addr
+	Type  ConnType
+	Token uint64
+	URIs  []URI
+	// ReplyVia, when non-zero, asks that the CTM reply be routed to the
+	// named forwarding node (the new node's leaf target) which relays
+	// it over the leaf connection — necessary while the sender is not
+	// yet routable (§IV-C).
+	ReplyVia Addr
+}
+
+// ctmReply answers a ctmRequest, carrying the responder's URIs back so the
+// initiator can start the linking protocol (§IV-B1).
+type ctmReply struct {
+	From  Addr
+	To    Addr
+	Type  ConnType
+	Token uint64
+	URIs  []URI
+}
+
+// forwarded wraps a payload relayed through a leaf forwarder to a
+// not-yet-routable node.
+type forwarded struct {
+	To    Addr
+	Inner any
+	Size  int
+}
+
+// AppData is application traffic tunnelled over the overlay; IPOP uses it
+// to carry virtual IP packets. Proto multiplexes independent services on
+// one node.
+type AppData struct {
+	Proto string
+	Size  int
+	Data  any
+}

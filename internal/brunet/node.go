@@ -1,0 +1,715 @@
+package brunet
+
+import (
+	"fmt"
+
+	"wow/internal/metrics"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// Config carries a node's protocol constants. Zero values select the
+// paper-faithful defaults (DefaultConfig), which are deliberately
+// conservative — the paper tuned Brunet for heavily loaded PlanetLab hosts
+// and accepts ~150s to abandon a dead URI (§IV-D footnote 2).
+type Config struct {
+	// Port is the UDP port to bind; 0 picks an ephemeral port.
+	Port uint16
+	// NearPerSide is how many structured-near neighbors to keep on each
+	// ring side.
+	NearPerSide int
+	// FarCount is k, the number of structured-far connections (§IV-A).
+	FarCount int
+	// MaxHops bounds overlay routing.
+	MaxHops int
+
+	// PingInterval / PingTimeout / PingRetries drive keepalives. Dead
+	// peers are detected after roughly PingInterval +
+	// PingTimeout·(2^(PingRetries+1)−1).
+	PingInterval sim.Duration
+	PingTimeout  sim.Duration
+	PingRetries  int
+
+	// LinkResend is the initial link-request resend interval;
+	// LinkBackoff multiplies it on every retry; after LinkRetries
+	// unanswered sends the linker moves to the target's next URI.
+	LinkResend  sim.Duration
+	LinkBackoff float64
+	LinkRetries int
+
+	// StatusInterval paces ring-neighborhood gossip on near links.
+	StatusInterval sim.Duration
+	// FarInterval paces the far-connection overlord's top-up checks.
+	FarInterval sim.Duration
+
+	// PrivateFirst flips the linking protocol's URI trial order to try
+	// private endpoints before NAT-learned ones; an ablation knob for
+	// the Figure 5 regime-3 delay.
+	PrivateFirst bool
+
+	// Transport selects the link transport this node advertises in its
+	// URIs: "udp" (the default, used in all the paper's experiments) or
+	// "tcp" (for sites whose middleboxes drop UDP). Nodes accept links
+	// over both transports regardless.
+	Transport string
+
+	// Shortcut configures the ShortcutConnectionOverlord; nil disables
+	// shortcut creation (the paper's "shortcuts disabled" baseline).
+	Shortcut *ShortcutConfig
+}
+
+// ShortcutConfig parameterizes adaptive shortcut creation (§IV-E).
+type ShortcutConfig struct {
+	// ServiceRate is c in s_{i+1} = max(s_i + a_i − c, 0), in
+	// packets/second drained from the virtual work queue.
+	ServiceRate float64
+	// Threshold is the score that triggers shortcut establishment.
+	Threshold float64
+	// Tick is the score-update period (the paper's unit of time).
+	Tick sim.Duration
+	// IdleDrop closes a shortcut whose score has stayed at zero this
+	// long, bounding per-node connection count.
+	IdleDrop sim.Duration
+	// Retry is the cool-down before re-attempting a failed shortcut.
+	Retry sim.Duration
+}
+
+// DefaultConfig returns the paper-faithful constants.
+func DefaultConfig() Config {
+	return Config{
+		NearPerSide:    2,
+		FarCount:       8,
+		MaxHops:        100,
+		PingInterval:   15 * sim.Second,
+		PingTimeout:    5 * sim.Second,
+		PingRetries:    3,
+		LinkResend:     5 * sim.Second,
+		LinkBackoff:    2,
+		LinkRetries:    4, // 5+10+20+40+80 ≈ 155s per dead URI, as in §V-B
+		StatusInterval: 15 * sim.Second,
+		FarInterval:    30 * sim.Second,
+		Shortcut:       DefaultShortcutConfig(),
+	}
+}
+
+// DefaultShortcutConfig returns shortcut constants calibrated so steady
+// 1 packet/s traffic (the paper's ICMP probes) triggers a shortcut after
+// roughly 20 seconds.
+func DefaultShortcutConfig() *ShortcutConfig {
+	return &ShortcutConfig{
+		ServiceRate: 0.25,
+		Threshold:   15,
+		Tick:        sim.Second,
+		IdleDrop:    120 * sim.Second,
+		Retry:       30 * sim.Second,
+	}
+}
+
+// FastTestConfig returns aggressive constants for unit tests that don't
+// measure paper timings.
+func FastTestConfig() Config {
+	c := DefaultConfig()
+	c.PingInterval = 5 * sim.Second
+	c.PingTimeout = sim.Second
+	c.PingRetries = 2
+	c.LinkResend = 200 * sim.Millisecond
+	c.LinkRetries = 3
+	c.StatusInterval = 2 * sim.Second
+	c.FarInterval = 3 * sim.Second
+	return c
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.NearPerSide == 0 {
+		c.NearPerSide = d.NearPerSide
+	}
+	if c.FarCount == 0 {
+		c.FarCount = d.FarCount
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = d.MaxHops
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = d.PingInterval
+	}
+	if c.PingTimeout == 0 {
+		c.PingTimeout = d.PingTimeout
+	}
+	if c.PingRetries == 0 {
+		c.PingRetries = d.PingRetries
+	}
+	if c.LinkResend == 0 {
+		c.LinkResend = d.LinkResend
+	}
+	if c.LinkBackoff == 0 {
+		c.LinkBackoff = d.LinkBackoff
+	}
+	if c.LinkRetries == 0 {
+		c.LinkRetries = d.LinkRetries
+	}
+	if c.StatusInterval == 0 {
+		c.StatusInterval = d.StatusInterval
+	}
+	if c.FarInterval == 0 {
+		c.FarInterval = d.FarInterval
+	}
+	if c.Transport == "" {
+		c.Transport = "udp"
+	}
+}
+
+// Node is one Brunet P2P router. WOW compute nodes embed a Node (via
+// internal/ipop) and PlanetLab bootstrap routers run bare Nodes.
+type Node struct {
+	addr Addr
+	host *phys.Host
+	sim  *sim.Simulator
+	cfg  Config
+	sock *phys.UDPSock
+	up   bool
+
+	conns     map[Addr]*Connection
+	linkers   map[Addr]*linker
+	busyRetry map[Addr]int
+	learned   uriSet
+	private   URI
+	bootstrap []URI
+	slisten   *phys.StreamListener
+
+	handlers map[string]func(src Addr, d AppData)
+	onConn   []func(*Connection)
+	onDisc   []func(*Connection)
+
+	near *nearOverlord
+	far  *farOverlord
+	sco  *shortcutOverlord
+
+	tokenSeq uint64
+	pingSeq  uint64
+	tickers  []*sim.Ticker
+
+	// Stats counts protocol events (link attempts, routed packets,
+	// shortcut formations, …).
+	Stats metrics.Counter
+}
+
+// NewNode creates a node with the given overlay address on a physical
+// host. Call Start to bind the socket and join the overlay.
+func NewNode(host *phys.Host, addr Addr, cfg Config) *Node {
+	cfg.fillDefaults()
+	return &Node{
+		addr:      addr,
+		host:      host,
+		sim:       host.Sim(),
+		cfg:       cfg,
+		conns:     make(map[Addr]*Connection),
+		linkers:   make(map[Addr]*linker),
+		busyRetry: make(map[Addr]int),
+		handlers:  make(map[string]func(src Addr, d AppData)),
+	}
+}
+
+// Addr returns the node's 160-bit overlay address.
+func (n *Node) Addr() Addr { return n.addr }
+
+// Host returns the physical host the node runs on.
+func (n *Node) Host() *phys.Host { return n.host }
+
+// Config returns the node's protocol constants.
+func (n *Node) Config() Config { return n.cfg }
+
+// Up reports whether the node is started.
+func (n *Node) Up() bool { return n.up }
+
+// URIs returns the node's advertised URI list in linking-trial order:
+// NAT-learned public endpoints first, the private endpoint next — the
+// order IPOP uses and the cause of the Fig. 5 regime-3 delay
+// (Config.PrivateFirst reverses it) — and finally the private endpoint's
+// alternate-transport variant, since every node accepts links on both
+// transports (§IV-A: "a P2P node may have multiple URIs").
+func (n *Node) URIs() []URI {
+	pub := n.learned.all()
+	alt := n.private
+	if n.cfg.Transport == "tcp" {
+		alt.Transport = "udp"
+	} else {
+		alt.Transport = "tcp"
+	}
+	out := make([]URI, 0, len(pub)+2)
+	if n.cfg.PrivateFirst {
+		out = append(out, n.private)
+		out = append(out, pub...)
+	} else {
+		out = append(out, pub...)
+		out = append(out, n.private)
+	}
+	return append(out, alt)
+}
+
+// BootstrapURI returns the URI a new node should be configured with to
+// bootstrap off this (public) node: its private endpoint on its preferred
+// transport.
+func (n *Node) BootstrapURI() URI { return n.private }
+
+// learnURI records an observed public endpoint; reports whether new.
+// Only UDP observations are kept: a TCP observation is the ephemeral port
+// of an outbound stream — useless for calling back (TCP links into NATed
+// or firewalled nodes are always established by the inside node dialing
+// out).
+func (n *Node) learnURI(u URI) bool {
+	if u.IsZero() || u == n.private || u.Transport == "tcp" {
+		return false
+	}
+	return n.learned.add(u)
+}
+
+// RegisterProto installs the handler for tunnelled application data with
+// the given protocol label (IPOP registers "ipop").
+func (n *Node) RegisterProto(proto string, h func(src Addr, d AppData)) {
+	n.handlers[proto] = h
+}
+
+// OnConnection registers a callback invoked whenever a connection is
+// created or gains a role.
+func (n *Node) OnConnection(f func(*Connection)) { n.onConn = append(n.onConn, f) }
+
+// OnDisconnection registers a callback invoked whenever a connection dies.
+func (n *Node) OnDisconnection(f func(*Connection)) { n.onDisc = append(n.onDisc, f) }
+
+func (n *Node) notifyConn(c *Connection) {
+	for _, f := range n.onConn {
+		f(c)
+	}
+}
+
+func (n *Node) notifyDisc(c *Connection) {
+	for _, f := range n.onDisc {
+		f(c)
+	}
+}
+
+// Start binds the node's socket and begins joining the overlay through the
+// bootstrap URIs (§IV-C): establish a leaf connection, locate the node's
+// ring position by routing a CTM to its own address, then link with its
+// nearest neighbors. With no bootstrap URIs the node founds a new ring.
+func (n *Node) Start(bootstrap []URI) error {
+	if n.up {
+		return fmt.Errorf("brunet: node %s already started", n.addr)
+	}
+	// Bind the UDP socket and the TCP-transport listener on the same
+	// port number (separate wire namespaces). With an ephemeral port the
+	// matching TCP port may be taken by another node's outbound streams
+	// on a shared host (the paper's multi-router PlanetLab hosts), so
+	// retry with fresh ports.
+	var sock *phys.UDPSock
+	var sl *phys.StreamListener
+	for attempt := 0; ; attempt++ {
+		var err error
+		sock, err = n.host.Listen(n.cfg.Port)
+		if err != nil {
+			return fmt.Errorf("brunet: node %s: %w", n.addr, err)
+		}
+		sl, err = n.host.ListenStream(sock.Port(), n.acceptStream)
+		if err == nil {
+			break
+		}
+		sock.Close()
+		if n.cfg.Port != 0 || attempt > 128 {
+			return fmt.Errorf("brunet: node %s: %w", n.addr, err)
+		}
+	}
+	n.sock = sock
+	n.sock.OnRecv = n.recv
+	n.slisten = sl
+	n.private = URI{Transport: n.cfg.Transport, EP: sock.LocalEndpoint()}
+	n.bootstrap = append([]URI(nil), bootstrap...)
+	n.up = true
+
+	n.near = newNearOverlord(n)
+	n.far = newFarOverlord(n)
+	if n.cfg.Shortcut != nil {
+		n.sco = newShortcutOverlord(n, *n.cfg.Shortcut)
+	}
+
+	n.near.start()
+	n.far.start()
+	if n.sco != nil {
+		n.sco.start()
+	}
+	return nil
+}
+
+// Stop kills the node ungracefully — the moral equivalent of the paper's
+// "killing and restarting the user-level IPOP program" during VM
+// migration. No close messages are sent; peers discover the death through
+// ping timeouts.
+func (n *Node) Stop() {
+	if !n.up {
+		return
+	}
+	n.up = false
+	for _, t := range n.tickers {
+		t.Stop()
+	}
+	n.tickers = nil
+	for _, lk := range n.linkers {
+		lk.finish(false)
+	}
+	for _, c := range n.Connections() {
+		if c.pingTimer != nil {
+			c.pingTimer.Cancel()
+		}
+		c.closed = true
+		if c.Stream != nil {
+			c.Stream.Close()
+		}
+		delete(n.conns, c.Peer)
+	}
+	n.sock.Close()
+	if n.slisten != nil {
+		n.slisten.Close()
+		n.slisten = nil
+	}
+	n.near, n.far, n.sco = nil, nil, nil
+	n.learned = uriSet{}
+}
+
+// Leave gracefully departs: close messages let neighbors repair the ring
+// immediately instead of waiting for ping timeouts.
+func (n *Node) Leave() {
+	if !n.up {
+		return
+	}
+	for _, c := range n.Connections() {
+		n.dropConnection(c, true, "leave")
+	}
+	n.Stop()
+}
+
+// IsRoutable reports whether the node holds structured-near connections on
+// both ring sides (or is alone on the ring) — the paper's "fully routable"
+// condition at the end of the join procedure.
+func (n *Node) IsRoutable() bool {
+	if !n.up {
+		return false
+	}
+	nears := n.connsOfType(StructuredNear)
+	if len(nears) == 0 {
+		return len(n.bootstrap) == 0 // ring founder
+	}
+	// With one near connection the ring has exactly two nodes; the
+	// single link covers both sides.
+	return true
+}
+
+// sendDirect transmits a link-layer message over the physical network.
+func (n *Node) sendDirect(ep phys.Endpoint, size int, payload any) {
+	if !n.up {
+		return
+	}
+	n.sock.Send(ep, size, payload)
+}
+
+// wire identifies how a received message's sender can be answered: a UDP
+// endpoint or a TCP-transport stream.
+type wire struct {
+	ep     phys.Endpoint
+	stream *phys.Stream
+}
+
+// observed returns the sender's NAT-translated endpoint as seen here.
+func (w wire) observed() phys.Endpoint {
+	if w.stream != nil {
+		return w.stream.RemoteEndpoint()
+	}
+	return w.ep
+}
+
+// transport names the wire's transport.
+func (w wire) transport() string {
+	if w.stream != nil {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// replyTo answers over the same wire the message arrived on.
+func (n *Node) replyTo(w wire, size int, payload any) {
+	if !n.up {
+		return
+	}
+	if w.stream != nil {
+		w.stream.SendMsg(size, payload)
+		return
+	}
+	n.sendDirect(w.ep, size, payload)
+}
+
+// recv dispatches incoming datagrams.
+func (n *Node) recv(p *phys.Packet) {
+	n.handleWire(wire{ep: p.Src}, p.Payload)
+}
+
+// acceptStream hooks an inbound TCP-transport link into the dispatcher.
+func (n *Node) acceptStream(st *phys.Stream) {
+	w := wire{stream: st}
+	st.OnMessage(func(size int, payload any) { n.handleWire(w, payload) })
+}
+
+// handleWire dispatches one link-layer message from either transport.
+func (n *Node) handleWire(w wire, payload any) {
+	if !n.up {
+		return
+	}
+	switch m := payload.(type) {
+	case linkRequest:
+		n.handleLinkRequest(w, m)
+	case linkReply:
+		n.handleLinkReply(w, m)
+	case linkError:
+		n.handleLinkError(m)
+	case pingMsg:
+		c, ok := n.conns[m.From]
+		if !ok {
+			// A ping for a connection we no longer hold — the
+			// sender's state is stale (we timed it out after its
+			// NAT rebound, or it outlived a crash). Tell it to drop
+			// the zombie so its overlords re-establish properly
+			// (§V-E: "detecting broken links and re-establishing
+			// them").
+			n.Stats.Inc("ping.stale", 1)
+			n.replyTo(w, pingMsgSize, closeMsg{From: n.addr})
+			return
+		}
+		n.touch(c)
+		// Endpoint roaming: a known peer pinging from a new address
+		// means its NAT rebound the mapping (§V-E); adopt the fresh
+		// endpoint so our return path follows the translation change.
+		if c.Stream == nil && w.stream == nil && w.ep != c.EP {
+			c.EP = w.ep
+			n.Stats.Inc("conn.ep_roamed", 1)
+		}
+		n.replyTo(w, pingMsgSize, pongMsg{From: n.addr, Seq: m.Seq})
+	case pongMsg:
+		if c, ok := n.conns[m.From]; ok {
+			n.touch(c)
+		}
+	case closeMsg:
+		if c, ok := n.conns[m.From]; ok {
+			n.dropConnection(c, false, "peer_close")
+		}
+	case statusMsg:
+		if c, ok := n.conns[m.From]; ok {
+			n.touch(c)
+		}
+		if n.near != nil {
+			n.near.handleStatus(m)
+		}
+	case *OverlayPacket:
+		if c, ok := n.conns[m.Src]; ok {
+			n.touch(c)
+		}
+		n.routePacket(m, m.Src)
+	default:
+		n.Stats.Inc("recv.unknown", 1)
+	}
+}
+
+// SendTo originates an overlay packet carrying application data toward the
+// node owning dst.
+func (n *Node) SendTo(dst Addr, mode DeliveryMode, d AppData) {
+	if !n.up {
+		return
+	}
+	pkt := &OverlayPacket{
+		Src:     n.addr,
+		Dst:     dst,
+		Mode:    mode,
+		MaxHops: n.cfg.MaxHops,
+		Size:    overlayHdrSize + d.Size,
+		Payload: d,
+	}
+	if n.sco != nil {
+		n.sco.observe(dst, 1)
+	}
+	n.routePacket(pkt, n.addr)
+}
+
+// routePacket implements greedy routing (§IV-A): forward to the structured
+// connection closest to the destination; deliver locally when no neighbor
+// is strictly closer. Packets arriving over a leaf connection are never
+// bounced straight back to the leaf child (the leaf target acts as the
+// child's forwarding agent into the ring).
+func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
+	if !n.up {
+		return
+	}
+	if pkt.Dst == n.addr {
+		n.deliver(pkt)
+		return
+	}
+	if pkt.Hops >= pkt.MaxHops {
+		n.Stats.Inc("route.hops_exceeded", 1)
+		return
+	}
+	best := n.nearestConn(pkt.Dst, from)
+	selfDist := n.addr.RingDist(pkt.Dst)
+	if best == nil || (best.Peer != pkt.Dst && best.Peer.RingDist(pkt.Dst).Cmp(selfDist) >= 0) {
+		// Nobody closer: we are the nearest live node.
+		n.deliver(pkt)
+		return
+	}
+	pkt.Hops++
+	n.Stats.Inc("route.forwarded", 1)
+	n.sendConn(best, pkt.Size, pkt)
+}
+
+// deliver terminates a packet at this node. Exact-mode packets for another
+// address die here (we are merely the nearest neighbor of a down node);
+// nearest-mode packets are consumed, which is what lets CTMs find ring
+// positions and far targets.
+func (n *Node) deliver(pkt *OverlayPacket) {
+	exact := pkt.Dst == n.addr
+	if !exact && pkt.Mode == DeliverExact {
+		n.Stats.Inc("route.dead_letter", 1)
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case ctmRequest:
+		n.handleCTMRequest(pkt, m, exact)
+	case ctmReply:
+		n.handleCTMReply(m)
+	case forwarded:
+		n.handleForwarded(m)
+	case AppData:
+		n.Stats.Inc("route.delivered", 1)
+		if n.sco != nil {
+			n.sco.observe(pkt.Src, 1)
+		}
+		if h, ok := n.handlers[m.Proto]; ok {
+			h(pkt.Src, m)
+		} else {
+			n.Stats.Inc("recv.noproto", 1)
+		}
+	default:
+		n.Stats.Inc("recv.unknown_overlay", 1)
+	}
+}
+
+// sendCTM routes a Connect-To-Me request toward target (§IV-B1).
+func (n *Node) sendCTM(target Addr, t ConnType, mode DeliveryMode, replyVia Addr) {
+	n.tokenSeq++
+	req := ctmRequest{
+		From:     n.addr,
+		Type:     t,
+		Token:    n.tokenSeq,
+		URIs:     n.URIs(),
+		ReplyVia: replyVia,
+	}
+	pkt := &OverlayPacket{
+		Src:     n.addr,
+		Dst:     target,
+		Mode:    mode,
+		MaxHops: n.cfg.MaxHops,
+		Size:    overlayHdrSize + ctmMsgSize + 16*len(req.URIs),
+		Payload: req,
+	}
+	n.Stats.Inc("ctm.sent", 1)
+	if replyVia != (Addr{}) && len(n.conns) > 0 {
+		// Joining: hand the packet to the leaf target to route.
+		if c, ok := n.conns[replyVia]; ok {
+			pkt.Hops++
+			n.sendConn(c, pkt.Size, pkt)
+			return
+		}
+	}
+	n.routePacket(pkt, n.addr)
+}
+
+// handleCTMRequest answers a CTM: reply with our URIs (routed back over
+// the overlay, via the requester's leaf forwarder when asked) and
+// simultaneously start linking toward the requester — the bidirectionality
+// that makes NAT hole punching work (§IV-D).
+func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) {
+	if req.From == n.addr {
+		return // own join CTM came back: ring too small to matter
+	}
+	n.Stats.Inc("ctm.received", 1)
+	rep := ctmReply{From: n.addr, To: req.From, Type: req.Type, Token: req.Token, URIs: n.URIs()}
+	size := overlayHdrSize + ctmMsgSize + 16*len(rep.URIs)
+	if !req.ReplyVia.IsZero() {
+		fw := forwarded{To: req.From, Inner: rep, Size: size}
+		n.routePacket(&OverlayPacket{
+			Src: n.addr, Dst: req.ReplyVia, Mode: DeliverExact,
+			MaxHops: n.cfg.MaxHops, Size: size + 16, Payload: fw,
+		}, n.addr)
+	} else {
+		n.routePacket(&OverlayPacket{
+			Src: n.addr, Dst: req.From, Mode: DeliverExact,
+			MaxHops: n.cfg.MaxHops, Size: size, Payload: rep,
+		}, n.addr)
+	}
+	// Responder-side linking.
+	n.startLinker(req.From, req.URIs, req.Type)
+
+	// A join CTM (nearest-mode, addressed to the joiner itself) also
+	// concerns the ring neighbor on the other side of the joining
+	// address: pass one copy across so both future neighbors link
+	// (§IV-C "form structured near connections with its left and right
+	// neighbors").
+	if !exact && req.Type == StructuredNear && pkt.Dst == req.From && pkt.Hops < pkt.MaxHops {
+		if other := n.neighborAcross(req.From); other != nil {
+			cp := *pkt
+			cp.Hops++
+			cp.Mode = DeliverExact
+			cp.Dst = other.Peer
+			n.sendConn(other, cp.Size, &cp)
+		}
+	}
+}
+
+// neighborAcross returns the structured-near connection on the opposite
+// side of address x from this node, i.e. the other future neighbor of a
+// node joining at x.
+func (n *Node) neighborAcross(x Addr) *Connection {
+	if n.addr.Clockwise(x).Cmp(x.Clockwise(n.addr)) < 0 {
+		// x is on our right: its other neighbor is our closest right.
+		for _, c := range n.neighborsOnSide(true) {
+			return c
+		}
+	} else {
+		for _, c := range n.neighborsOnSide(false) {
+			return c
+		}
+	}
+	return nil
+}
+
+// handleCTMReply starts initiator-side linking.
+func (n *Node) handleCTMReply(rep ctmReply) {
+	if rep.To != n.addr {
+		return
+	}
+	n.Stats.Inc("ctm.replied", 1)
+	n.startLinker(rep.From, rep.URIs, rep.Type)
+}
+
+// handleForwarded relays a payload to a leaf child (§IV-C: "the leaf
+// target acts as forwarding agent for the new node").
+func (n *Node) handleForwarded(fw forwarded) {
+	c, ok := n.conns[fw.To]
+	if !ok {
+		n.Stats.Inc("forward.nochild", 1)
+		return
+	}
+	n.sendConn(c, fw.Size, &OverlayPacket{
+		Src: n.addr, Dst: fw.To, Mode: DeliverExact,
+		MaxHops: n.cfg.MaxHops, Size: fw.Size, Payload: fw.Inner,
+	})
+}
+
+// String renders a diagnostic summary.
+func (n *Node) String() string {
+	return fmt.Sprintf("brunet.Node{%s conns=%d up=%v}", n.addr, len(n.conns), n.up)
+}

@@ -1,0 +1,313 @@
+package brunet
+
+import (
+	"wow/internal/sim"
+)
+
+// nearOverlord maintains structured-near connections: it drives the join
+// procedure of §IV-C (leaf connection, CTM-to-self, link with ring
+// neighbors), gossips ring neighborhoods over status messages, connects to
+// closer neighbors as they appear, and trims links that are no longer
+// among the nearest per side.
+type nearOverlord struct {
+	node     *Node
+	leafPeer Addr
+	joinSent bool
+}
+
+func newNearOverlord(n *Node) *nearOverlord { return &nearOverlord{node: n} }
+
+func (o *nearOverlord) start() {
+	n := o.node
+	n.OnConnection(o.onConnection)
+	n.OnDisconnection(o.onDisconnection)
+	o.maintain()
+	t := n.sim.Tick(n.cfg.StatusInterval, n.cfg.StatusInterval/5, o.maintain)
+	n.tickers = append(n.tickers, t)
+}
+
+// maintain is the periodic overlord pass: bootstrap if necessary, retry
+// the join, gossip status, trim the neighbor set.
+func (o *nearOverlord) maintain() {
+	n := o.node
+	if !n.up {
+		return
+	}
+	if len(n.bootstrap) == 0 {
+		return // ring founder: neighbors come to us
+	}
+	if o.leafConn() == nil {
+		o.joinSent = false
+		// Try a bootstrap URI; rotate through the list across
+		// attempts via the RNG so a dead bootstrap node doesn't
+		// wedge the join.
+		uri := n.bootstrap[n.sim.Rand().Intn(len(n.bootstrap))]
+		n.startLinker(Zero, []URI{uri}, Leaf)
+		return
+	}
+	nears := n.connsOfType(StructuredNear)
+	if len(nears) < 2 {
+		// Leaf is up but our ring position is absent or one-sided:
+		// route a CTM to our own address through the leaf target
+		// (§IV-C). Re-sent every maintenance pass until both-side
+		// neighbors link up. Replies come back through the forwarder,
+		// which works even when nothing can route to us yet.
+		n.sendCTM(n.addr, StructuredNear, DeliverNearest, o.leafPeer)
+		o.joinSent = true
+	}
+	if len(nears) == 0 {
+		return
+	}
+	o.gossip()
+	o.trim()
+}
+
+func (o *nearOverlord) leafConn() *Connection {
+	for _, c := range o.node.connsOfType(Leaf) {
+		if c.Peer == o.leafPeer {
+			return c
+		}
+	}
+	return nil
+}
+
+func (o *nearOverlord) onConnection(c *Connection) {
+	n := o.node
+	if c.Has(Leaf) && o.leafPeer.IsZero() {
+		o.leafPeer = c.Peer
+		// Don't wait for the next maintenance tick: join now.
+		if !o.joinSent && len(n.connsOfType(StructuredNear)) == 0 {
+			n.sendCTM(n.addr, StructuredNear, DeliverNearest, o.leafPeer)
+			o.joinSent = true
+		}
+	}
+}
+
+func (o *nearOverlord) onDisconnection(c *Connection) {
+	if c.Peer == o.leafPeer {
+		o.leafPeer = Zero
+	}
+	// Losing a near neighbor (crash, migration) re-triggers repair on
+	// the next maintenance pass via gossip and join retries.
+}
+
+// gossip advertises our near neighborhood over every near connection.
+func (o *nearOverlord) gossip() {
+	n := o.node
+	nears := n.connsOfType(StructuredNear)
+	if len(nears) == 0 {
+		return
+	}
+	infos := make([]NeighborInfo, 0, len(nears))
+	for _, c := range nears {
+		infos = append(infos, NeighborInfo{Addr: c.Peer, URIs: c.URIs})
+	}
+	msg := statusMsg{From: n.addr, Neighbors: infos}
+	size := statusMsgSize + 24*len(infos)
+	for _, c := range nears {
+		n.sendConn(c, size, msg)
+	}
+	n.Stats.Inc("status.sent", int64(len(nears)))
+}
+
+// handleStatus connects toward advertised neighbors that are closer than
+// what we currently hold — the ring-repair path that makes the overlay
+// converge after joins, leaves and migrations.
+func (o *nearOverlord) handleStatus(m statusMsg) {
+	n := o.node
+	for _, info := range m.Neighbors {
+		if info.Addr == n.addr {
+			continue
+		}
+		if _, ok := n.conns[info.Addr]; ok {
+			continue
+		}
+		if o.wanted(info.Addr) {
+			// Ask for the reply via our leaf forwarder: while our
+			// ring position is still converging, replies routed to
+			// our bare address can dead-letter — and nodes whose
+			// middleboxes defeat inbound linking (TCP-only sites)
+			// depend entirely on the reply arriving so they can
+			// dial outward.
+			n.Stats.Inc("status.discovered", 1)
+			n.sendCTM(info.Addr, StructuredNear, DeliverExact, o.leafPeer)
+		}
+	}
+}
+
+// wanted reports whether a new near connection to w would belong to the
+// kept set (within NearPerSide nearest on its ring side).
+func (o *nearOverlord) wanted(w Addr) bool {
+	n := o.node
+	k := n.cfg.NearPerSide
+	right := n.addr.Clockwise(w).Cmp(w.Clockwise(n.addr)) < 0
+	side := n.neighborsOnSide(right)
+	if len(side) < k {
+		return true
+	}
+	kth := side[k-1]
+	if right {
+		return n.addr.Clockwise(w).Cmp(n.addr.Clockwise(kth.Peer)) < 0
+	}
+	return w.Clockwise(n.addr).Cmp(kth.Peer.Clockwise(n.addr)) < 0
+}
+
+// trim drops the StructuredNear role from connections no longer among the
+// k nearest per side, closing connections left without any role.
+func (o *nearOverlord) trim() {
+	n := o.node
+	k := n.cfg.NearPerSide
+	keep := make(map[Addr]bool)
+	for i, c := range n.neighborsOnSide(true) {
+		if i >= k {
+			break
+		}
+		keep[c.Peer] = true
+	}
+	for i, c := range n.neighborsOnSide(false) {
+		if i >= k {
+			break
+		}
+		keep[c.Peer] = true
+	}
+	for _, c := range n.connsOfType(StructuredNear) {
+		if keep[c.Peer] {
+			continue
+		}
+		n.Stats.Inc("near.trimmed", 1)
+		if !c.dropType(StructuredNear) {
+			n.dropConnection(c, true, "trim")
+		}
+	}
+}
+
+// farOverlord maintains k structured-far connections to distant ring
+// addresses drawn from the small-world distribution of the paper's
+// reference [37], giving O((1/k)·log²n) greedy routing.
+type farOverlord struct {
+	node *Node
+}
+
+func newFarOverlord(n *Node) *farOverlord { return &farOverlord{node: n} }
+
+func (o *farOverlord) start() {
+	n := o.node
+	t := n.sim.Tick(n.cfg.FarInterval, n.cfg.FarInterval/5, o.maintain)
+	n.tickers = append(n.tickers, t)
+}
+
+func (o *farOverlord) maintain() {
+	n := o.node
+	if !n.up || !n.IsRoutable() {
+		return
+	}
+	have := len(n.connsOfType(StructuredFar))
+	for i := have; i < n.cfg.FarCount; i++ {
+		// The paper leaves the random-address logic out of scope
+		// (footnote 1); we use the harmonic (Kleinberg) offset its
+		// reference [37] analyses.
+		target := n.addr.Offset(KleinbergOffset(n.sim.Rand()))
+		n.sendCTM(target, StructuredFar, DeliverNearest, Zero)
+	}
+}
+
+// shortcutOverlord implements §IV-E: per-destination traffic scores follow
+// the queueing recurrence s_{i+1} = max(s_i + a_i − c, 0); when a score
+// crosses the threshold the overlord issues a CTM for a direct shortcut
+// connection, and shortcuts whose score has drained to zero for IdleDrop
+// are torn down, bounding keepalive overhead.
+type shortcutOverlord struct {
+	node *Node
+	cfg  ShortcutConfig
+
+	arrivals  map[Addr]float64
+	score     map[Addr]float64
+	zeroSince map[Addr]sim.Time
+	lastTry   map[Addr]sim.Time
+}
+
+func newShortcutOverlord(n *Node, cfg ShortcutConfig) *shortcutOverlord {
+	return &shortcutOverlord{
+		node:      n,
+		cfg:       cfg,
+		arrivals:  make(map[Addr]float64),
+		score:     make(map[Addr]float64),
+		zeroSince: make(map[Addr]sim.Time),
+		lastTry:   make(map[Addr]sim.Time),
+	}
+}
+
+func (o *shortcutOverlord) start() {
+	n := o.node
+	t := n.sim.Tick(o.cfg.Tick, o.cfg.Tick/10, o.tick)
+	n.tickers = append(n.tickers, t)
+}
+
+// observe records tunnelled traffic to or from peer; called by the node on
+// every originated and delivered application packet (traffic inspection).
+func (o *shortcutOverlord) observe(peer Addr, pkts float64) {
+	if peer == o.node.addr {
+		return
+	}
+	o.arrivals[peer] += pkts
+}
+
+// Score exposes the current score for a peer (diagnostics and tests).
+func (o *shortcutOverlord) Score(peer Addr) float64 { return o.score[peer] }
+
+func (o *shortcutOverlord) tick() {
+	n := o.node
+	if !n.up {
+		return
+	}
+	now := n.sim.Now()
+	drain := o.cfg.ServiceRate * o.cfg.Tick.Seconds()
+	for peer, a := range o.arrivals {
+		o.score[peer] += a
+		delete(o.arrivals, peer)
+	}
+	for peer, s := range o.score {
+		s -= drain
+		if s <= 0 {
+			s = 0
+		}
+		o.score[peer] = s
+		c := n.conns[peer]
+
+		if s >= o.cfg.Threshold && !o.direct(peer) {
+			last, tried := o.lastTry[peer]
+			if !tried || now.Sub(last) >= o.cfg.Retry {
+				o.lastTry[peer] = now
+				n.Stats.Inc("shortcut.ctm", 1)
+				n.sendCTM(peer, Shortcut, DeliverExact, Zero)
+			}
+		}
+
+		if s == 0 {
+			if _, ok := o.zeroSince[peer]; !ok {
+				o.zeroSince[peer] = now
+			}
+			if c != nil && c.Has(Shortcut) && now.Sub(o.zeroSince[peer]) >= o.cfg.IdleDrop {
+				n.Stats.Inc("shortcut.idle_dropped", 1)
+				if !c.dropType(Shortcut) {
+					n.dropConnection(c, true, "idle")
+				}
+			}
+			if c == nil || !c.Has(Shortcut) {
+				if now.Sub(o.zeroSince[peer]) >= o.cfg.IdleDrop {
+					delete(o.score, peer)
+					delete(o.zeroSince, peer)
+					delete(o.lastTry, peer)
+				}
+			}
+		} else {
+			delete(o.zeroSince, peer)
+		}
+	}
+}
+
+// direct reports whether a single-hop path to peer already exists.
+func (o *shortcutOverlord) direct(peer Addr) bool {
+	c := o.node.conns[peer]
+	return c != nil && c.structured()
+}

@@ -1,0 +1,46 @@
+package brunet
+
+import (
+	"fmt"
+	"testing"
+
+	"wow/internal/natsim"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+func TestDebugFWNode(t *testing.T) {
+	r := buildRing(t, 33, 8)
+	fw := natsim.NewFirewall("no-udp-fw", 0, r.s.Now)
+	fw.BlockProto(phys.WireUDP)
+	realm := r.net.AddRealm("udp-hostile", r.net.Root(), fw, phys.MustParseIP("140.1.0.10"))
+	h := r.net.AddHost("hostile-host", r.site, realm, phys.HostConfig{})
+	cfg := FastTestConfig()
+	cfg.Transport = "tcp"
+	n := NewNode(h, AddrFromString("udp-blocked-node"), cfg)
+	n.Start([]URI{tcpBootURI(r.nodes[0])})
+	r.nodes = append(r.nodes, n)
+	r.s.RunFor(2 * sim.Minute)
+	fmt.Printf("routable=%v conns:", n.IsRoutable())
+	for _, c := range n.Connections() {
+		fmt.Printf(" %v", c)
+	}
+	fmt.Printf("\nstats: %s\n", n.Stats.String())
+	for _, p := range r.nodes[:8] {
+		if c := p.ConnectionTo(n.Addr()); c != nil {
+			fmt.Printf("peer %s -> %v\n", p.Addr(), c)
+		}
+	}
+	ok := false
+	n.RegisterProto("t", func(src Addr, d AppData) { ok = true })
+	drops := map[string]int{}
+	r.net.OnDrop = func(reason string, p *phys.Packet) {
+		drops[fmt.Sprintf("%s proto=%d dst=%v payload=%T", reason, p.Proto, p.Dst, p.Payload)]++
+	}
+	r.nodes[2].SendTo(n.Addr(), DeliverExact, AppData{Proto: "t", Size: 64})
+	r.s.RunFor(10 * sim.Second)
+	fmt.Printf("ok=%v\n", ok)
+	for k, v := range drops {
+		fmt.Printf("%3d %s\n", v, k)
+	}
+}

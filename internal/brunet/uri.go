@@ -1,0 +1,57 @@
+package brunet
+
+import (
+	"fmt"
+
+	"wow/internal/phys"
+)
+
+// URI is a Uniform Resource Indicator naming one way to reach a node over
+// a physical transport, e.g. brunet.udp:192.0.1.1:1024 (§IV-A). A node
+// behind NATs has several URIs — its private endpoint plus every
+// NAT-assigned endpoint it has learned — and the linking protocol tries
+// them one by one.
+type URI struct {
+	// Transport is the tunnel transport; this implementation provides
+	// "udp" (the transport used in all of the paper's experiments).
+	Transport string
+	EP        phys.Endpoint
+}
+
+// UDPURI builds a brunet.udp URI for an endpoint.
+func UDPURI(ep phys.Endpoint) URI { return URI{Transport: "udp", EP: ep} }
+
+// String renders "brunet.udp:ip:port".
+func (u URI) String() string { return fmt.Sprintf("brunet.%s:%s", u.Transport, u.EP) }
+
+// IsZero reports whether the URI is unset.
+func (u URI) IsZero() bool { return u.Transport == "" && u.EP.IsZero() }
+
+// uriSet is an ordered set of URIs: insertion order is preserved because
+// the linking protocol's trial order matters (§V-B explains the UFL delay
+// in terms of the NAT-assigned URI being tried first).
+type uriSet struct {
+	list []URI
+	seen map[URI]bool
+}
+
+func (s *uriSet) add(u URI) bool {
+	if u.IsZero() {
+		return false
+	}
+	if s.seen == nil {
+		s.seen = make(map[URI]bool)
+	}
+	if s.seen[u] {
+		return false
+	}
+	s.seen[u] = true
+	s.list = append(s.list, u)
+	return true
+}
+
+func (s *uriSet) all() []URI {
+	out := make([]URI, len(s.list))
+	copy(out, s.list)
+	return out
+}

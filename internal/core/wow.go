@@ -1,0 +1,174 @@
+// Package core is the public face of the WOW library: it assembles wide
+// area overlay networks of virtual workstations from the building blocks
+// underneath — the Brunet structured overlay (internal/brunet), IP-over-
+// P2P tunnelling with decentralized shortcut creation (internal/ipop), the
+// guest virtual IP stack (internal/vip) and virtual workstations with
+// wide-area migration (internal/vm).
+//
+// A WOW is built on any simulated physical topology: add router nodes on
+// public hosts to form the bootstrap overlay, then add workstations on
+// hosts anywhere — behind NATs, firewalls, nested NATs — and they
+// self-organize into one virtual private cluster network, exactly the
+// deployment model of the paper: "WOW allows participants to add
+// resources in a fully decentralized manner that imposes very little
+// administrative overhead."
+package core
+
+import (
+	"fmt"
+
+	"wow/internal/brunet"
+	"wow/internal/ipop"
+	"wow/internal/phys"
+	"wow/internal/sim"
+	"wow/internal/vip"
+	"wow/internal/vm"
+)
+
+// Options configures a WOW deployment.
+type Options struct {
+	// Shortcuts enables decentralized direct-connection creation on
+	// workstation nodes (§IV-E). The paper's baseline comparisons turn
+	// it off.
+	Shortcuts bool
+	// Brunet sets overlay protocol constants; zero fields take the
+	// paper-faithful defaults.
+	Brunet brunet.Config
+	// Stack sets guest transport constants.
+	Stack vip.StackConfig
+	// BootstrapSize is how many router URIs each joining node is given;
+	// default 3.
+	BootstrapSize int
+}
+
+// WOW is one wide-area overlay network of virtual workstations.
+type WOW struct {
+	opts    Options
+	sim     *sim.Simulator
+	routers []*ipop.Node
+	vms     []*vm.VM
+	byIP    map[vip.IP]*vm.VM
+	boot    []brunet.URI
+}
+
+// New creates an empty WOW on the given simulator.
+func New(s *sim.Simulator, opts Options) *WOW {
+	if opts.BootstrapSize == 0 {
+		opts.BootstrapSize = 3
+	}
+	if !opts.Shortcuts {
+		opts.Brunet.Shortcut = nil
+	} else if opts.Brunet.Shortcut == nil {
+		opts.Brunet.Shortcut = brunet.DefaultShortcutConfig()
+	}
+	return &WOW{opts: opts, sim: s, byIP: make(map[vip.IP]*vm.VM)}
+}
+
+// Sim returns the simulation clock.
+func (w *WOW) Sim() *sim.Simulator { return w.sim }
+
+// Bootstrap returns the URIs a new node is configured with — "the
+// location of at least one IPOP node on the public Internet" (§III-B).
+func (w *WOW) Bootstrap() []brunet.URI { return w.boot }
+
+// AddRouter starts an overlay router (no virtual IP) on a public host.
+// The first router founds the ring; the paper deployed 118 of these on
+// PlanetLab.
+func (w *WOW) AddRouter(host *phys.Host, name string) (*ipop.Node, error) {
+	cfg := w.opts.Brunet
+	cfg.Shortcut = nil
+	r := ipop.NewRouter(host, brunet.AddrFromString("wow-router:"+name), cfg)
+	if err := r.Start(w.boot); err != nil {
+		return nil, fmt.Errorf("core: router %s: %w", name, err)
+	}
+	if len(w.boot) < w.opts.BootstrapSize {
+		w.boot = append(w.boot, ipop.BootURIs(r)...)
+	}
+	w.routers = append(w.routers, r)
+	return r, nil
+}
+
+// AddWorkstation boots a virtual workstation with the given virtual IP on
+// a host (which may sit behind any middlebox chain) and joins it to the
+// overlay.
+func (w *WOW) AddWorkstation(host *phys.Host, ip vip.IP, spec vm.Spec) (*vm.VM, error) {
+	return w.AddWorkstationCfg(host, ip, spec, w.opts.Brunet)
+}
+
+// AddWorkstationCfg is AddWorkstation with per-node overlay constants —
+// e.g. pinning the UDP port for a site whose firewall opens exactly one
+// (the paper's ncgrid.org domain).
+func (w *WOW) AddWorkstationCfg(host *phys.Host, ip vip.IP, spec vm.Spec, bcfg brunet.Config) (*vm.VM, error) {
+	if _, taken := w.byIP[ip]; taken {
+		return nil, fmt.Errorf("core: virtual IP %s already in use", ip)
+	}
+	if len(w.boot) == 0 {
+		return nil, fmt.Errorf("core: no routers yet; add at least one AddRouter first")
+	}
+	if !w.opts.Shortcuts {
+		bcfg.Shortcut = nil
+	} else if bcfg.Shortcut == nil {
+		bcfg.Shortcut = w.opts.Brunet.Shortcut
+	}
+	v := vm.New(host, ip, spec, bcfg, w.opts.Stack)
+	if err := v.Start(w.boot); err != nil {
+		return nil, fmt.Errorf("core: workstation %s: %w", spec.Name, err)
+	}
+	w.vms = append(w.vms, v)
+	w.byIP[ip] = v
+	return v, nil
+}
+
+// Remove shuts a workstation down and forgets it.
+func (w *WOW) Remove(v *vm.VM) {
+	v.Shutdown()
+	delete(w.byIP, v.IP())
+	for i, x := range w.vms {
+		if x == v {
+			w.vms = append(w.vms[:i], w.vms[i+1:]...)
+			break
+		}
+	}
+}
+
+// Migrate moves a workstation to another physical host, §V-C style:
+// IPOP killed, VM suspended and transferred, resumed, IPOP rejoined.
+func (w *WOW) Migrate(v *vm.VM, dst *phys.Host, cfg vm.MigrationConfig, done func()) error {
+	return v.Migrate(dst, cfg, done)
+}
+
+// Workstations returns all live workstations.
+func (w *WOW) Workstations() []*vm.VM { return w.vms }
+
+// Routers returns all overlay routers.
+func (w *WOW) Routers() []*ipop.Node { return w.routers }
+
+// Lookup finds a workstation by virtual IP.
+func (w *WOW) Lookup(ip vip.IP) (*vm.VM, bool) {
+	v, ok := w.byIP[ip]
+	return v, ok
+}
+
+// RoutableWorkstations counts workstations whose overlay node holds ring
+// positions.
+func (w *WOW) RoutableWorkstations() int {
+	n := 0
+	for _, v := range w.vms {
+		if v.Node().Up() && v.Node().Overlay().IsRoutable() {
+			n++
+		}
+	}
+	return n
+}
+
+// OverlaySize returns the total number of overlay nodes (routers + live
+// workstation nodes).
+func (w *WOW) OverlaySize() int {
+	n := len(w.routers)
+	for _, v := range w.vms {
+		if v.Node().Up() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wow/internal/sim"
+)
+
+// Discovery is the decentralized resource-discovery service of the
+// paper's §VI future work, built on the DHT: every compute node
+// advertises itself under a well-known key with a TTL and refreshes the
+// advertisement periodically; any node can enumerate the live pool with a
+// single Get — no central collector, no registration server.
+type Discovery struct {
+	dht    *DHT
+	key    string
+	ticker *sim.Ticker
+}
+
+// Advert describes one advertised resource.
+type Advert struct {
+	Name  string
+	Speed float64
+}
+
+// encode/decode the advert as "name=speed".
+func (a Advert) encode() string { return fmt.Sprintf("%s=%.3f", a.Name, a.Speed) }
+
+func decodeAdvert(s string) (Advert, error) {
+	name, speedStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return Advert{}, fmt.Errorf("dht: malformed advert %q", s)
+	}
+	speed, err := strconv.ParseFloat(speedStr, 64)
+	if err != nil {
+		return Advert{}, fmt.Errorf("dht: malformed advert %q: %w", s, err)
+	}
+	return Advert{Name: name, Speed: speed}, nil
+}
+
+// NewDiscovery creates a discovery view over a pool key (e.g.
+// "pool/compute").
+func NewDiscovery(d *DHT, poolKey string) *Discovery {
+	return &Discovery{dht: d, key: poolKey}
+}
+
+// Advertise publishes this node's resource advert and refreshes it every
+// interval with a TTL of twice the interval, so crashed nodes age out of
+// the pool within ~2 intervals. Failed publishes (e.g. while the node is
+// still joining the ring) retry promptly rather than waiting a full
+// refresh interval.
+func (v *Discovery) Advertise(ad Advert, interval sim.Duration) {
+	if interval == 0 {
+		interval = 2 * sim.Minute
+	}
+	var publish func()
+	retry := func() {
+		v.dht.sim.After(10*sim.Second, func() {
+			if v.ticker != nil {
+				publish()
+			}
+		})
+	}
+	publish = func() {
+		// Publishing before the node holds its ring position would
+		// store the advert at whatever node is reachable through the
+		// leaf connection — the wrong owner; wait for routability.
+		if !v.dht.node.IsRoutable() {
+			retry()
+			return
+		}
+		v.dht.Append(v.key, ad.encode(), 2*interval, func(ok bool) {
+			if !ok {
+				retry()
+			}
+		})
+	}
+	v.ticker = v.dht.sim.Tick(interval, interval/10, publish)
+	publish()
+}
+
+// StopAdvertising halts refreshes; the advert expires after its TTL.
+func (v *Discovery) StopAdvertising() {
+	if v.ticker != nil {
+		v.ticker.Stop()
+	}
+}
+
+// List enumerates live pool members, sorted by name.
+func (v *Discovery) List(cb func(ads []Advert, ok bool)) {
+	v.dht.Get(v.key, func(members []string, found bool) {
+		if !found {
+			cb(nil, false)
+			return
+		}
+		out := make([]Advert, 0, len(members))
+		for _, m := range members {
+			ad, err := decodeAdvert(m)
+			if err != nil {
+				continue
+			}
+			out = append(out, ad)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		cb(out, true)
+	})
+}

@@ -1,0 +1,25 @@
+package dht
+
+import "testing"
+
+// FuzzAdvertCodec checks the advert decoder never panics and round-trips
+// what the encoder produces.
+func FuzzAdvertCodec(f *testing.F) {
+	f.Add("node002=1.330")
+	f.Add("x=")
+	f.Add("=1.0")
+	f.Add("noequals")
+	f.Fuzz(func(t *testing.T, s string) {
+		ad, err := decodeAdvert(s)
+		if err != nil {
+			return
+		}
+		rt, err2 := decodeAdvert(ad.encode())
+		if err2 != nil {
+			t.Fatalf("re-decode of %q (from %q): %v", ad.encode(), s, err2)
+		}
+		if rt.Name != ad.Name {
+			t.Fatalf("name roundtrip: %q -> %q", ad.Name, rt.Name)
+		}
+	})
+}

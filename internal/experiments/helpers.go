@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wow/internal/brunet"
+	"wow/internal/core"
+	"wow/internal/middleware/scp"
+	"wow/internal/phys"
+	"wow/internal/sim"
+	"wow/internal/testbed"
+	"wow/internal/vip"
+	"wow/internal/vm"
+)
+
+// smallOverlay is a lightweight public overlay with a few workstations,
+// for experiments that don't need the full Figure-1 testbed.
+type smallOverlay struct {
+	wow  *core.WOW
+	boot []brunet.URI
+	vms  []*vm.VM
+}
+
+func fastBrunet() brunet.Config { return brunet.DefaultConfig() }
+
+func stackCfg() vip.StackConfig { return vip.StackConfig{} }
+
+func mustVIP(s string) vip.IP { return vip.MustParseIP(s) }
+
+// buildSmallOverlay stands up n public routers and two public
+// workstations on the given network.
+func buildSmallOverlay(s *sim.Simulator, net *phys.Network, n int) *smallOverlay {
+	w := core.New(s, core.Options{Shortcuts: true, Brunet: fastBrunet()})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("r%02d", i)
+		h := net.AddHost(name, net.AddSite(name), net.Root(), phys.HostConfig{})
+		if _, err := w.AddRouter(h, name); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		s.RunFor(sim.Second)
+	}
+	so := &smallOverlay{wow: w, boot: w.Bootstrap()}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("ws%02d", i)
+		h := net.AddHost(name, net.AddSite(name), net.Root(), phys.HostConfig{
+			ServiceTime: 400 * sim.Microsecond, Bandwidth: 1.7e6,
+		})
+		v, err := w.AddWorkstation(h, mustVIP(fmt.Sprintf("172.16.1.%d", i+2)), vm.Spec{Name: name})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		so.vms = append(so.vms, v)
+	}
+	s.RunFor(2 * sim.Minute)
+	return so
+}
+
+// pingOK sends one virtual ping and waits out its timeout.
+func pingOK(s *sim.Simulator, from *vm.VM, to vip.IP) bool {
+	ok := false
+	from.Stack().Ping(to, 64, 2*sim.Second, func(o bool, _ sim.Duration) { ok = o })
+	s.RunFor(3 * sim.Second)
+	return ok
+}
+
+// runFig6Live is RunFig6 with live pre-copy migration instead of
+// suspend-transfer-resume.
+func runFig6Live(opts Fig6Opts) *Fig6Result {
+	opts.fillDefaults()
+	tb := testbed.Build(testbed.Config{
+		Seed:           opts.Seed,
+		Shortcuts:      true,
+		Routers:        opts.Routers,
+		PlanetLabHosts: opts.PlanetLabHosts,
+		SettleTime:     5 * sim.Minute,
+	})
+	server := tb.VM("node003")
+	client := tb.VM("node017")
+
+	srv, err := scp.NewServer(server.Stack())
+	if err != nil {
+		panic(fmt.Sprintf("fig6live: %v", err))
+	}
+	srv.Put("/data/dataset.tar", opts.FileBytes)
+
+	warm := tb.Sim.Tick(sim.Second, 0, func() {
+		client.Stack().Ping(server.IP(), 64, 2*sim.Second, func(bool, sim.Duration) {})
+	})
+	tb.Sim.RunFor(2 * sim.Minute)
+	warm.Stop()
+
+	start := tb.Sim.Now()
+	tr := scp.Fetch(client.Stack(), server.IP(), "/data/dataset.tar", 5*sim.Second, nil)
+	tb.Sim.At(start.Add(opts.MigrateAt), func() {
+		dst := tb.NewHostAt("northwestern.edu")
+		if err := server.MigrateLive(dst, vm.MigrationConfig{TransferBps: opts.TransferBps}, nil); err != nil {
+			panic(fmt.Sprintf("fig6live: %v", err))
+		}
+	})
+	for !tr.Done && tb.Sim.Now().Sub(start) < 4*sim.Hour {
+		tb.Sim.RunFor(sim.Minute)
+	}
+
+	res := &Fig6Result{
+		Progress:  tr.Progress,
+		Completed: tr.Done && tr.Err == nil && tr.Received == opts.FileBytes,
+	}
+	res.TotalSeconds = tb.Sim.Now().Sub(start).Seconds()
+	var stall, lastT, lastB float64
+	for i := 0; i < res.Progress.Len(); i++ {
+		tt, bytes := res.Progress.At(i)
+		if bytes == lastB && lastT > 0 {
+			if s := tt - lastT; s > stall {
+				stall = s
+			}
+		} else {
+			lastT = tt
+		}
+		lastB = bytes
+	}
+	res.StallSeconds = stall
+	return res
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wow/internal/brunet"
+	"wow/internal/metrics"
+	"wow/internal/sim"
+	"wow/internal/testbed"
+)
+
+// OutageOpts parameterizes the §V-C IPOP kill/restart measurement.
+type OutageOpts struct {
+	Seed int64
+	// Trials of kill+restart.
+	Trials int
+	// Conservative selects the paper-era conservative keepalive
+	// constants (slow stale-state detection, the origin of the paper's
+	// ~8 minute no-routability window); false uses this library's
+	// defaults.
+	Conservative bool
+	// Routers / PlanetLabHosts size the overlay; with the 33 VMs this
+	// gives the paper's "150-node network".
+	Routers, PlanetLabHosts int
+}
+
+func (o *OutageOpts) fillDefaults() {
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	if o.Routers == 0 {
+		o.Routers = 118
+	}
+	if o.PlanetLabHosts == 0 {
+		o.PlanetLabHosts = 20
+	}
+}
+
+// OutageResult is the measured no-routability window after killing and
+// restarting the user-level IPOP process with no VM movement.
+type OutageResult struct {
+	Conservative bool
+	// Seconds per trial from kill to the first successful virtual ping
+	// after restart (restart is immediate).
+	Seconds []float64
+	Summary metrics.Summary
+}
+
+// String renders the measurement.
+func (r *OutageResult) String() string {
+	mode := "library defaults"
+	if r.Conservative {
+		mode = "paper-conservative keepalives"
+	}
+	return fmt.Sprintf("§V-C no-routability window after IPOP kill+restart (%s): mean %.0f s, max %.0f s over %d trials\n"+
+		"  (the paper reports ~480 s; this implementation re-links stale ring state on rejoin,\n"+
+		"   so bare restarts heal in seconds — the paper-scale outage appears in Figure 6,\n"+
+		"   where the VM image transfer dominates)\n",
+		mode, r.Summary.Mean, r.Summary.Max, r.Summary.N)
+}
+
+// RunOutage measures the §V-C scenario: kill and immediately restart the
+// user-level IPOP process on a ~150-node overlay and time the
+// no-routability window. The paper observed ~8 minutes; this
+// implementation's linking protocol adopts fresh endpoints when a known
+// address re-links (Connection relink semantics), so the window here is
+// seconds — an implementation improvement the experiment quantifies
+// rather than hides. The paper-sized outage is reproduced end-to-end in
+// RunFig6, where suspend/transfer/resume dominates.
+func RunOutage(opts OutageOpts) *OutageResult {
+	opts.fillDefaults()
+	cfg := testbed.Config{
+		Seed:           opts.Seed,
+		Shortcuts:      true,
+		Routers:        opts.Routers,
+		PlanetLabHosts: opts.PlanetLabHosts,
+		SettleTime:     5 * sim.Minute,
+	}
+	if opts.Conservative {
+		cfg.Brunet = brunet.DefaultConfig()
+		cfg.Brunet.PingInterval = 2 * sim.Minute
+		cfg.Brunet.PingTimeout = 15 * sim.Second
+		cfg.Brunet.PingRetries = 4
+	}
+	tb := testbed.Build(cfg)
+	victim := tb.VM("node003")
+	prober := tb.VM("node017")
+
+	res := &OutageResult{Conservative: opts.Conservative}
+	for trial := 0; trial < opts.Trials; trial++ {
+		// Kill and immediately restart the IPOP process (§V-C: "by
+		// simply killing and restarting the user-level IPOP
+		// program").
+		victim.Node().Stop()
+		killAt := tb.Sim.Now()
+		if err := victim.Node().Start(tb.Boot()); err != nil {
+			panic(fmt.Sprintf("outage: restart: %v", err))
+		}
+
+		recovered := math.NaN()
+		tk := tb.Sim.Tick(sim.Second, 0, func() {
+			if !math.IsNaN(recovered) {
+				return
+			}
+			prober.Stack().Ping(victim.IP(), 64, 900*sim.Millisecond, func(ok bool, _ sim.Duration) {
+				if ok && math.IsNaN(recovered) {
+					recovered = tb.Sim.Now().Sub(killAt).Seconds()
+				}
+			})
+		})
+		tb.Sim.RunFor(30 * sim.Minute)
+		tk.Stop()
+		if math.IsNaN(recovered) {
+			recovered = 30 * 60 // censored at the window
+		}
+		res.Seconds = append(res.Seconds, recovered)
+		tb.Sim.RunFor(5 * sim.Minute) // settle before next trial
+	}
+	res.Summary = metrics.Summarize(res.Seconds)
+	return res
+}
+
+// VirtOverheadResult is the §V-D1 virtualization overhead check.
+type VirtOverheadResult struct {
+	// VirtualSeconds / PhysicalSeconds are wall times for the same MEME
+	// job inside a WOW VM and on the bare host model.
+	VirtualSeconds, PhysicalSeconds float64
+	// OverheadPct is the relative slowdown (paper: ~13%).
+	OverheadPct float64
+}
+
+// String renders the check.
+func (r *VirtOverheadResult) String() string {
+	return fmt.Sprintf("§V-D1 virtualization overhead: %.1f%% (virtual %.1f s vs physical %.1f s; paper: ~13%%)\n",
+		r.OverheadPct, r.VirtualSeconds, r.PhysicalSeconds)
+}
+
+// RunVirtOverhead measures the virtual/physical wall-time ratio of a MEME
+// job. The 13% is a calibrated model parameter (vm.Spec.VirtOverhead);
+// this experiment verifies it propagates to application wall time
+// end-to-end rather than re-deriving it.
+func RunVirtOverhead(seed int64) *VirtOverheadResult {
+	run := func(overhead float64) float64 {
+		tb := testbed.Build(testbed.Config{
+			Seed: seed, Shortcuts: true, Routers: 12, PlanetLabHosts: 4,
+			SettleTime: 2 * sim.Minute,
+		})
+		v := tb.VM("node002")
+		spec := v.Spec()
+		_ = spec
+		// Re-create a VM-like executor with the chosen overhead by
+		// timing a job scaled accordingly: Execute charges
+		// CPU × VirtOverhead / speed.
+		start := tb.Sim.Now()
+		var doneAt sim.Time
+		cpu := 100 * sim.Second
+		if overhead == 1.0 {
+			// Model the bare host: divide out the VM's overhead.
+			cpu = sim.Duration(float64(cpu) / spec.VirtOverhead)
+		}
+		v.Execute(cpu, func() { doneAt = tb.Sim.Now() })
+		tb.Sim.RunFor(sim.Hour)
+		return doneAt.Sub(start).Seconds()
+	}
+	virtual := run(1.13)
+	physical := run(1.0)
+	return &VirtOverheadResult{
+		VirtualSeconds:  virtual,
+		PhysicalSeconds: physical,
+		OverheadPct:     100 * (virtual - physical) / physical,
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestSchedulerComparison(t *testing.T) {
+	r := RunSchedulerComparison(1, 150)
+	if r.PBSJobsPerMinute <= 0 || r.CondorJobsPerMinute <= 0 {
+		t.Fatalf("legs incomplete: %+v", r)
+	}
+	// Condor's negotiation cycle adds matchmaking latency PBS doesn't
+	// have.
+	if r.CondorMatchLatency <= 0.5 {
+		t.Errorf("match latency %.2fs; negotiation cycles should be visible", r.CondorMatchLatency)
+	}
+	// Both move the stream at the same order of magnitude.
+	if r.CondorJobsPerMinute < r.PBSJobsPerMinute/4 {
+		t.Errorf("condor throughput %.1f << pbs %.1f", r.CondorJobsPerMinute, r.PBSJobsPerMinute)
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"wow/internal/metrics"
+	"wow/internal/sim"
+	"wow/internal/testbed"
+	"wow/internal/workloads"
+)
+
+// Table2Opts parameterizes the bandwidth experiment of §V-B (Table II).
+type Table2Opts struct {
+	Seed int64
+	// Sizes are the transferred file sizes; the paper used 695 MB, 50 MB
+	// and 8 MB.
+	Sizes []int64
+	// Repeats per size; the paper ran 12 transfers total per cell.
+	Repeats int
+	// Routers / PlanetLabHosts size the bootstrap overlay.
+	Routers, PlanetLabHosts int
+}
+
+func (o *Table2Opts) fillDefaults() {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int64{695 << 20, 50 << 20, 8 << 20}
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 4 // 4 × 3 sizes = 12 transfers per cell, as in the paper
+	}
+	if o.Routers == 0 {
+		o.Routers = 118
+	}
+	if o.PlanetLabHosts == 0 {
+		o.PlanetLabHosts = 20
+	}
+}
+
+// Table2Cell is one Table II entry: mean and standard deviation of ttcp
+// bandwidth in KB/s.
+type Table2Cell struct {
+	Scenario  string
+	Shortcuts bool
+	MeanKBs   float64
+	StdKBs    float64
+	Transfers int
+}
+
+// Table2Result is the full table.
+type Table2Result struct {
+	Cells []Table2Cell
+}
+
+// Cell looks up one entry.
+func (r *Table2Result) Cell(scenario string, shortcuts bool) *Table2Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Scenario == scenario && r.Cells[i].Shortcuts == shortcuts {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table II: ttcp bandwidth between WOW nodes (KB/s)\n")
+	fmt.Fprintf(&b, "%-10s %22s %22s\n", "", "shortcuts enabled", "shortcuts disabled")
+	fmt.Fprintf(&b, "%-10s %10s %11s %10s %11s\n", "scenario", "mean", "std", "mean", "std")
+	for _, sc := range []string{"UFL-UFL", "UFL-NWU"} {
+		on := r.Cell(sc, true)
+		off := r.Cell(sc, false)
+		if on == nil || off == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10.0f %11.0f %10.0f %11.0f\n", sc, on.MeanKBs, on.StdKBs, off.MeanKBs, off.StdKBs)
+	}
+	return b.String()
+}
+
+// table2Pairs maps scenarios to (sender, receiver) Table I nodes.
+func table2Pairs() map[string][2]string {
+	return map[string][2]string{
+		"UFL-UFL": {"node003", "node004"},
+		"UFL-NWU": {"node003", "node017"},
+	}
+}
+
+// RunTable2 reproduces Table II: repeated ttcp bulk transfers between WOW
+// node pairs with the shortcut overlord enabled and disabled. The two
+// overlay configurations are independent simulations and run on parallel
+// goroutines.
+func RunTable2(opts Table2Opts) *Table2Result {
+	opts.fillDefaults()
+	res := &Table2Result{}
+	legs := make([][]Table2Cell, 2)
+	var wg sync.WaitGroup
+	for li, shortcuts := range []bool{true, false} {
+		li, shortcuts := li, shortcuts
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			legs[li] = runTable2Leg(opts, shortcuts)
+		}()
+	}
+	wg.Wait()
+	for _, leg := range legs {
+		res.Cells = append(res.Cells, leg...)
+	}
+	return res
+}
+
+// runTable2Leg measures both scenarios under one shortcut setting.
+func runTable2Leg(opts Table2Opts, shortcuts bool) []Table2Cell {
+	var cells []Table2Cell
+	{
+		tb := testbed.Build(testbed.Config{
+			Seed:           opts.Seed,
+			Shortcuts:      shortcuts,
+			Routers:        opts.Routers,
+			PlanetLabHosts: opts.PlanetLabHosts,
+			SettleTime:     5 * sim.Minute,
+		})
+		for scenario, pair := range table2Pairs() {
+			src := tb.VM(pair[0])
+			dst := tb.VM(pair[1])
+			if err := workloads.TTCPServe(dst.Stack()); err != nil {
+				panic(fmt.Sprintf("table2: %v", err))
+			}
+			if shortcuts {
+				// Warm the path so measurements reflect the
+				// steady state with a formed shortcut, as the
+				// paper's post-adaptation numbers do. UFL-UFL
+				// needs ~175 s: the linker burns through the
+				// hairpin-blocked public URI first (§V-B).
+				warm := tb.Sim.Tick(sim.Second, 0, func() {
+					src.Stack().Ping(dst.IP(), 64, 2*sim.Second, func(bool, sim.Duration) {})
+				})
+				tb.Sim.RunFor(5 * sim.Minute)
+				warm.Stop()
+			}
+			var bws []float64
+			for _, size := range opts.Sizes {
+				for rep := 0; rep < opts.Repeats; rep++ {
+					done := false
+					workloads.TTCP(src.Stack(), dst.IP(), size, func(r workloads.TTCPResult) {
+						if r.Completed {
+							bws = append(bws, r.BandwidthKBs())
+						}
+						done = true
+					})
+					for !done {
+						tb.Sim.RunFor(sim.Minute)
+					}
+					tb.Sim.RunFor(10 * sim.Second)
+				}
+			}
+			s := metrics.Summarize(bws)
+			cells = append(cells, Table2Cell{
+				Scenario:  scenario,
+				Shortcuts: shortcuts,
+				MeanKBs:   s.Mean,
+				StdKBs:    s.Std,
+				Transfers: s.N,
+			})
+		}
+	}
+	return cells
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTransportAblation(t *testing.T) {
+	r := RunTransportAblation(AblationOpts{Seed: 1})
+	fmt.Println(r.String())
+	if r.JoinUDP <= 0 || r.JoinTCP <= 0 {
+		t.Fatalf("joins missing: %+v", r)
+	}
+	// UDP hole-punches a direct shortcut; TCP cannot punch between two
+	// NATed sites and stays on multi-hop stream chains.
+	if r.BandwidthUDP < 500 {
+		t.Fatalf("udp bandwidth implausible: %+v", r)
+	}
+	if r.BandwidthTCP <= 0 || r.BandwidthTCP > r.BandwidthUDP/10 {
+		t.Fatalf("tcp multi-hop should be an order of magnitude slower: %+v", r)
+	}
+}

@@ -1,0 +1,216 @@
+// Package metrics provides the small statistics toolkit used by every WOW
+// experiment: summary statistics, percentiles, fixed-bin histograms and
+// time-series capture, matching the presentation style of the paper's
+// tables and figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds aggregate statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// String renders the summary as "mean=… std=… min=… max=… n=…".
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.2f std=%.2f min=%.2f max=%.2f n=%d", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies and sorts internally.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Lo+Width*len(Counts)).
+// Samples outside the range are clamped into the first/last bin, mirroring
+// how the paper's Figure 8 bins wall-clock times.
+type Histogram struct {
+	Lo     float64
+	Width  float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins of the given width starting at
+// lo. bins must be positive.
+func NewHistogram(lo, width float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("metrics: histogram needs at least one bin")
+	}
+	if width <= 0 {
+		panic("metrics: histogram bin width must be positive")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := int(math.Floor((x - h.Lo) / h.Width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total reports the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Frequencies returns each bin's share of the total (0 when empty).
+func (h *Histogram) Frequencies() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// String renders an ASCII histogram, one bin per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	freqs := h.Frequencies()
+	for i, f := range freqs {
+		bar := strings.Repeat("#", int(f*60+0.5))
+		fmt.Fprintf(&b, "%8.1f |%-60s| %5.1f%%\n", h.BinCenter(i), bar, f*100)
+	}
+	return b.String()
+}
+
+// Series is an append-only time series of (t, v) points, used to capture
+// figure profiles (latency vs. sequence number, bytes vs. time, …).
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Append records one point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns point i.
+func (s *Series) At(i int) (t, v float64) { return s.T[i], s.V[i] }
+
+// CSV renders the series as "t,v" lines with a header.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t,%s\n", s.Name)
+	for i := range s.T {
+		fmt.Fprintf(&b, "%.3f,%.4f\n", s.T[i], s.V[i])
+	}
+	return b.String()
+}
+
+// Counter accumulates named integer counts; handy for protocol statistics
+// (packets routed, retries, hole punches, …).
+type Counter struct {
+	m map[string]int64
+}
+
+// Inc adds delta to the named count.
+func (c *Counter) Inc(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the named count (0 when never incremented).
+func (c *Counter) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counter) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "name=value" pairs sorted by name.
+func (c *Counter) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "mean=2.00") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("percentile of empty sample should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, 0, 9.99, 10, 25, 49, 50, 1000} {
+		h.Add(x)
+	}
+	want := []int{3, 1, 1, 0, 3} // clamped below into bin0, above into bin4
+	for i := range want {
+		if h.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramFrequencies(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if f := h.Frequencies(); f[0] != 0 || f[1] != 0 {
+		t.Fatal("empty histogram should have zero frequencies")
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.5)
+	f := h.Frequencies()
+	if math.Abs(f[0]-1.0/3) > 1e-12 || math.Abs(f[1]-2.0/3) > 1e-12 {
+		t.Fatalf("frequencies = %v", f)
+	}
+}
+
+func TestHistogramBinCenterAndString(t *testing.T) {
+	h := NewHistogram(0, 16, 6)
+	if h.BinCenter(0) != 8 || h.BinCenter(1) != 24 {
+		t.Fatalf("bin centers wrong: %v %v", h.BinCenter(0), h.BinCenter(1))
+	}
+	h.Add(8)
+	if !strings.Contains(h.String(), "%") {
+		t.Fatal("String output missing percents")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(0, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "latency"
+	s.Append(1, 100)
+	s.Append(2, 50)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	tt, v := s.At(1)
+	if tt != 2 || v != 50 {
+		t.Fatalf("At(1) = %v,%v", tt, v)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "t,latency\n") || !strings.Contains(csv, "2.000,50.0000") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Get("x") != 0 {
+		t.Fatal("zero counter should read 0")
+	}
+	c.Inc("b", 2)
+	c.Inc("a", 1)
+	c.Inc("b", 3)
+	if c.Get("b") != 5 {
+		t.Fatalf("b = %d", c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.String() != "a=1 b=5" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+// Property: mean lies within [min, max] and histogram total equals sample
+// count for arbitrary inputs.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		h := NewHistogram(-40000, 1000, 80)
+		for _, x := range xs {
+			h.Add(x)
+		}
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int8, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package pvm models the PVM master–worker runtime used by
+// fastDNAml-PVM (§V-D2): "the master maintains a task pool and dispatches
+// tasks to workers dynamically", so faster nodes naturally pull more
+// tasks, and each computation round synchronizes before the next begins —
+// the structure that limits parallel speedup on a heterogeneous WOW.
+package pvm
+
+import (
+	"fmt"
+
+	"wow/internal/metrics"
+	"wow/internal/middleware/rpc"
+	"wow/internal/sim"
+	"wow/internal/vip"
+)
+
+// Machine is the compute node a Worker drives; internal/vm.VM satisfies
+// it.
+type Machine interface {
+	Name() string
+	Stack() *vip.Stack
+	Execute(cpu sim.Duration, done func())
+}
+
+// Port is the master daemon port; WorkerPort the per-worker daemon port.
+const (
+	Port       = 4096
+	WorkerPort = 4097
+)
+
+// Task is one unit of parallel work.
+type Task struct {
+	ID    int
+	Round int
+	// CPU is baseline CPU time.
+	CPU sim.Duration
+	// SendBytes/RecvBytes are task-dispatch and result payload sizes.
+	SendBytes, RecvBytes int
+}
+
+// wire messages.
+type enrollReq struct{ Name string }
+type enrollRsp struct{ OK bool }
+type taskReq struct{ T Task }
+type taskRsp struct{ OK bool }
+type bcastReq struct{ Round int }
+type bcastRsp struct{ OK bool }
+
+type workerRef struct {
+	name  string
+	ip    vip.IP
+	cli   *rpc.Client
+	busy  bool
+	tasks int
+}
+
+// Master coordinates rounds of tasks across enrolled workers.
+type Master struct {
+	stack   *vip.Stack
+	sim     *sim.Simulator
+	workers []*workerRef
+
+	rounds    [][]Task
+	round     int
+	pool      []Task
+	inflight  int
+	started   sim.Time
+	roundDone []sim.Time
+	onDone    func(elapsed sim.Duration)
+	running   bool
+	broadcast int
+
+	// Stats counts runtime events.
+	Stats metrics.Counter
+}
+
+// NewMaster starts the PVM master daemon on a stack (typically the head
+// VM or the node where the user launched fastDNAml).
+func NewMaster(stack *vip.Stack) (*Master, error) {
+	m := &Master{stack: stack, sim: stack.Sim()}
+	_, err := rpc.Serve(stack, Port, func(client vip.IP, body any, reply func(any, int)) {
+		switch req := body.(type) {
+		case enrollReq:
+			w := &workerRef{name: req.Name, ip: client, cli: rpc.Dial(stack, client, WorkerPort)}
+			m.workers = append(m.workers, w)
+			m.Stats.Inc("workers.enrolled", 1)
+			reply(enrollRsp{OK: true}, 64)
+			if m.running {
+				m.pump()
+			}
+		default:
+			reply(nil, 16)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pvm: %w", err)
+	}
+	return m, nil
+}
+
+// SetRoundBroadcast makes the master ship bytes of shared state (the
+// current best tree, in fastDNAml's case) to every worker at the start of
+// each round and wait for acknowledgments before dispatching tasks — the
+// synchronization §V-D2 identifies as the scaling limit: the application
+// "needs to synchronize many times during its execution, to select the
+// best tree at each round of tree optimization".
+func (m *Master) SetRoundBroadcast(bytes int) { m.broadcast = bytes }
+
+// WorkerCount reports enrolled workers.
+func (m *Master) WorkerCount() int { return len(m.workers) }
+
+// TasksPerWorker reports how many tasks each worker executed.
+func (m *Master) TasksPerWorker() map[string]int {
+	out := make(map[string]int, len(m.workers))
+	for _, w := range m.workers {
+		out[w.name] = w.tasks
+	}
+	return out
+}
+
+// RoundEndTimes returns when each round's barrier completed.
+func (m *Master) RoundEndTimes() []sim.Time { return m.roundDone }
+
+// Run executes the rounds in order; within a round tasks are dispatched
+// dynamically to idle workers, and the next round starts only after every
+// task of the current round has returned (the per-round synchronization
+// fastDNAml needs to "select the best tree at each round of tree
+// optimization").
+func (m *Master) Run(rounds [][]Task, onDone func(elapsed sim.Duration)) error {
+	if m.running {
+		return fmt.Errorf("pvm: master already running")
+	}
+	m.rounds = rounds
+	m.round = 0
+	m.onDone = onDone
+	m.running = true
+	m.started = m.sim.Now()
+	m.roundDone = m.roundDone[:0]
+	m.startRound()
+	return nil
+}
+
+func (m *Master) startRound() {
+	for m.round < len(m.rounds) && len(m.rounds[m.round]) == 0 {
+		m.roundDone = append(m.roundDone, m.sim.Now())
+		m.round++
+	}
+	if m.round >= len(m.rounds) {
+		m.running = false
+		if m.onDone != nil {
+			m.onDone(m.sim.Now().Sub(m.started))
+		}
+		return
+	}
+	m.pool = append([]Task(nil), m.rounds[m.round]...)
+	if m.broadcast > 0 && len(m.workers) > 0 {
+		// Ship the round's shared state to every worker and wait for
+		// all acknowledgments before dispatching.
+		waiting := len(m.workers)
+		for _, w := range m.workers {
+			w := w
+			m.Stats.Inc("broadcasts.sent", 1)
+			w.cli.Call(bcastReq{Round: m.round}, m.broadcast, func(resp any) {
+				waiting--
+				if waiting == 0 {
+					m.pump()
+				}
+			})
+		}
+		return
+	}
+	m.pump()
+}
+
+// pump dispatches pool tasks to idle workers.
+func (m *Master) pump() {
+	if !m.running {
+		return
+	}
+	for len(m.pool) > 0 {
+		var idle *workerRef
+		for _, w := range m.workers {
+			if !w.busy {
+				idle = w
+				break
+			}
+		}
+		if idle == nil {
+			return
+		}
+		t := m.pool[0]
+		m.pool = m.pool[1:]
+		idle.busy = true
+		idle.tasks++
+		m.inflight++
+		m.Stats.Inc("tasks.dispatched", 1)
+		w := idle
+		w.cli.Call(taskReq{T: t}, t.SendBytes, func(resp any) {
+			w.busy = false
+			m.inflight--
+			if _, ok := resp.(taskRsp); !ok {
+				// Transport failure: requeue the task.
+				m.Stats.Inc("tasks.requeued", 1)
+				m.pool = append(m.pool, t)
+				m.pump()
+				return
+			}
+			m.Stats.Inc("tasks.completed", 1)
+			if m.inflight == 0 && len(m.pool) == 0 {
+				// Round barrier reached.
+				m.roundDone = append(m.roundDone, m.sim.Now())
+				m.round++
+				m.startRound()
+				return
+			}
+			m.pump()
+		})
+	}
+}
+
+// Worker executes tasks on a VM.
+type Worker struct {
+	vm Machine
+	// Stats counts executed tasks.
+	Stats metrics.Counter
+}
+
+// NewWorker starts the worker daemon on the VM and enrolls with the
+// master.
+func NewWorker(machine Machine, master vip.IP) (*Worker, error) {
+	w := &Worker{vm: machine}
+	_, err := rpc.Serve(machine.Stack(), WorkerPort, func(client vip.IP, body any, reply func(any, int)) {
+		switch req := body.(type) {
+		case taskReq:
+			w.Stats.Inc("tasks.received", 1)
+			machine.Execute(req.T.CPU, func() {
+				reply(taskRsp{OK: true}, req.T.RecvBytes)
+			})
+		case bcastReq:
+			w.Stats.Inc("broadcasts.received", 1)
+			reply(bcastRsp{OK: true}, 64)
+		default:
+			reply(nil, 16)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pvm worker: %w", err)
+	}
+	enroll := rpc.Dial(machine.Stack(), master, Port)
+	enroll.Call(enrollReq{Name: machine.Name()}, 256, func(resp any) {
+		if resp == nil {
+			w.Stats.Inc("enroll.failed", 1)
+		}
+	})
+	return w, nil
+}

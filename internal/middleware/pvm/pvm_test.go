@@ -1,0 +1,181 @@
+package pvm
+
+import (
+	"fmt"
+	"testing"
+
+	"wow/internal/sim"
+	"wow/internal/vip"
+	"wow/internal/vip/viptest"
+)
+
+type rig struct {
+	s      *sim.Simulator
+	mesh   *viptest.Mesh
+	master *Master
+	mIP    vip.IP
+	nodes  []*viptest.Machine
+}
+
+func newRig(t *testing.T, seed int64, workers int, speeds []float64) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	m := viptest.NewMesh(s, 10*sim.Millisecond)
+	masterStack := m.AddStack(vip.MustParseIP("172.16.1.1"), vip.StackConfig{})
+	master, err := NewMaster(masterStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{s: s, mesh: m, master: master, mIP: masterStack.IP()}
+	for i := 0; i < workers; i++ {
+		speed := 1.0
+		if speeds != nil {
+			speed = speeds[i%len(speeds)]
+		}
+		w := viptest.NewMachine(m, fmt.Sprintf("w%02d", i), vip.MustParseIP("172.16.1.2")+vip.IP(i), speed)
+		if _, err := NewWorker(w, r.mIP); err != nil {
+			t.Fatal(err)
+		}
+		r.nodes = append(r.nodes, w)
+	}
+	s.RunFor(10 * sim.Second)
+	return r
+}
+
+func flatRounds(rounds, tasksPer int, cpu sim.Duration) [][]Task {
+	out := make([][]Task, rounds)
+	id := 0
+	for r := range out {
+		for j := 0; j < tasksPer; j++ {
+			out[r] = append(out[r], Task{ID: id, Round: r, CPU: cpu, SendBytes: 1024, RecvBytes: 512})
+			id++
+		}
+	}
+	return out
+}
+
+func TestEnrollment(t *testing.T) {
+	r := newRig(t, 1, 5, nil)
+	if r.master.WorkerCount() != 5 {
+		t.Fatalf("enrolled %d of 5", r.master.WorkerCount())
+	}
+}
+
+func TestRunCompletesAllTasks(t *testing.T) {
+	r := newRig(t, 2, 4, nil)
+	var elapsed sim.Duration
+	if err := r.master.Run(flatRounds(3, 8, 5*sim.Second), func(d sim.Duration) { elapsed = d }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.master.Run(nil, nil); err == nil {
+		t.Fatal("concurrent Run accepted")
+	}
+	r.s.RunFor(sim.Hour)
+	if elapsed == 0 {
+		t.Fatal("run never completed")
+	}
+	if got := r.master.Stats.Get("tasks.completed"); got != 24 {
+		t.Fatalf("completed %d of 24", got)
+	}
+	total := 0
+	for _, n := range r.master.TasksPerWorker() {
+		total += n
+	}
+	if total != 24 {
+		t.Fatalf("per-worker sum %d", total)
+	}
+}
+
+func TestRoundBarriers(t *testing.T) {
+	r := newRig(t, 3, 8, nil)
+	// Round 0 has one long task; round 1 many short ones. No round-1
+	// task may start before the round-0 barrier.
+	rounds := [][]Task{
+		{{ID: 0, Round: 0, CPU: 60 * sim.Second, SendBytes: 100, RecvBytes: 100}},
+		flatRounds(1, 8, sim.Second)[0],
+	}
+	r.master.Run(rounds, nil)
+	r.s.RunFor(sim.Hour)
+	ends := r.master.RoundEndTimes()
+	if len(ends) != 2 {
+		t.Fatalf("round ends = %v", ends)
+	}
+	if ends[0].Seconds() < 60 {
+		t.Fatalf("round 0 barrier at %.1fs, before its 60s task finished", ends[0].Seconds())
+	}
+	if ends[1] <= ends[0] {
+		t.Fatal("barriers out of order")
+	}
+}
+
+func TestEmptyRoundsSkipped(t *testing.T) {
+	r := newRig(t, 4, 2, nil)
+	done := false
+	r.master.Run([][]Task{{}, {}, {}}, func(sim.Duration) { done = true })
+	r.s.RunFor(sim.Minute)
+	if !done {
+		t.Fatal("empty rounds never completed")
+	}
+}
+
+func TestDynamicDispatchFavorsFastWorkers(t *testing.T) {
+	r := newRig(t, 5, 2, []float64{2.0, 0.5})
+	r.master.Run(flatRounds(1, 40, 10*sim.Second), nil)
+	r.s.RunFor(3 * sim.Hour)
+	per := r.master.TasksPerWorker()
+	if per["w00"] <= per["w01"] {
+		t.Fatalf("fast worker got %d, slow got %d", per["w00"], per["w01"])
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	elapsed := func(workers int) float64 {
+		r := newRig(t, 6, workers, nil)
+		var d sim.Duration
+		r.master.Run(flatRounds(10, 16, 10*sim.Second), func(e sim.Duration) { d = e })
+		r.s.RunFor(24 * sim.Hour)
+		if d == 0 {
+			t.Fatal("run incomplete")
+		}
+		return d.Seconds()
+	}
+	t1 := elapsed(1)
+	t8 := elapsed(8)
+	speedup := t1 / t8
+	if speedup < 5 || speedup > 8 {
+		t.Fatalf("8-worker speedup %.1f, want ~6-8 (sync overheads)", speedup)
+	}
+}
+
+func TestWorkerCrashRequeuesTask(t *testing.T) {
+	s := sim.New(7)
+	m := viptest.NewMesh(s, 10*sim.Millisecond)
+	masterStack := m.AddStack(vip.MustParseIP("172.16.1.1"), vip.StackConfig{GiveUp: 2 * sim.Minute})
+	master, err := NewMaster(masterStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := viptest.NewMachine(m, "good", vip.MustParseIP("172.16.1.2"), 1)
+	bad := viptest.NewMachine(m, "bad", vip.MustParseIP("172.16.1.3"), 1)
+	if _, err := NewWorker(good, masterStack.IP()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorker(bad, masterStack.IP()); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * sim.Second)
+
+	done := false
+	master.Run(flatRounds(1, 6, 30*sim.Second), func(sim.Duration) { done = true })
+	s.RunFor(5 * sim.Second)
+	m.SetUp(bad.S.IP(), false) // crash mid-round
+	// Keepalive reaps the dead worker's connection after ~2h; the
+	// surviving worker then absorbs the requeued tasks.
+	s.RunFor(8 * sim.Hour)
+	if !done {
+		t.Fatalf("round never completed after worker crash (requeued=%d)", master.Stats.Get("tasks.requeued"))
+	}
+	if master.Stats.Get("tasks.requeued") == 0 {
+		t.Fatal("no tasks requeued")
+	}
+}

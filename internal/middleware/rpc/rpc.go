@@ -1,0 +1,164 @@
+// Package rpc is a minimal request/response layer over the virtual TCP
+// transport, used by the cluster middleware (PBS, NFS, PVM) that runs
+// unmodified inside WOW guests. One client keeps one persistent connection
+// to a server; requests and responses are framed as TCP-lite messages and
+// therefore inherit all transport dynamics — window limits, loss recovery,
+// and patience across migration outages.
+package rpc
+
+import (
+	"fmt"
+
+	"wow/internal/vip"
+)
+
+// envelope frames one RPC message on the wire.
+type envelope struct {
+	ID    uint64
+	IsRsp bool
+	Body  any
+}
+
+// Handler services one request and must call reply exactly once (possibly
+// later, asynchronously). respSize is the response payload size in bytes.
+type Handler func(client vip.IP, body any, reply func(resp any, respSize int))
+
+// Server accepts RPC connections on a port.
+type Server struct {
+	stack   *vip.Stack
+	handler Handler
+}
+
+// Serve starts an RPC server on the stack's port.
+func Serve(stack *vip.Stack, port uint16, h Handler) (*Server, error) {
+	s := &Server{stack: stack, handler: h}
+	err := stack.ListenTCP(port, func(c *vip.Conn) {
+		c.OnMessage(func(size int, msg any) {
+			env, ok := msg.(envelope)
+			if !ok || env.IsRsp {
+				return
+			}
+			id := env.ID
+			s.handler(c.RemoteIP(), env.Body, func(resp any, respSize int) {
+				// Connection may have died while the handler
+				// worked; Send then reports closed, which is
+				// fine — the client will retry or has gone.
+				_ = c.Send(respSize, envelope{ID: id, IsRsp: true, Body: resp})
+			})
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %w", err)
+	}
+	return s, nil
+}
+
+// Client multiplexes requests over one persistent connection.
+type Client struct {
+	stack   *vip.Stack
+	server  vip.IP
+	port    uint16
+	conn    *vip.Conn
+	nextID  uint64
+	pending map[uint64]func(any)
+	closed  bool
+	onDown  func(error)
+}
+
+// Dial creates a client to server:port. The underlying connection is
+// established lazily and re-dialed after transport failures.
+func Dial(stack *vip.Stack, server vip.IP, port uint16) *Client {
+	return &Client{
+		stack:   stack,
+		server:  server,
+		port:    port,
+		pending: make(map[uint64]func(any)),
+	}
+}
+
+// OnDown registers a callback for transport-level failure (ErrTimeout);
+// pending calls are dropped.
+func (c *Client) OnDown(f func(error)) { c.onDown = f }
+
+func (c *Client) ensureConn() {
+	if c.conn != nil && !c.conn.Closed() {
+		return
+	}
+	conn := c.stack.DialTCP(c.server, c.port)
+	conn.OnMessage(func(size int, msg any) {
+		env, ok := msg.(envelope)
+		if !ok || !env.IsRsp {
+			return
+		}
+		if cb, waiting := c.pending[env.ID]; waiting {
+			delete(c.pending, env.ID)
+			cb(env.Body)
+		}
+	})
+	conn.OnClose(func(err error) {
+		if c.conn == conn {
+			c.conn = nil
+		}
+		if err != nil {
+			// Fail all pending calls; callers decide to retry.
+			for id, cb := range c.pending {
+				delete(c.pending, id)
+				cb(nil)
+			}
+			if c.onDown != nil {
+				c.onDown(err)
+			}
+		}
+	})
+	c.conn = conn
+}
+
+// Call sends one request of reqSize payload bytes; cb fires with the
+// response body, or nil if the transport failed.
+func (c *Client) Call(req any, reqSize int, cb func(resp any)) {
+	if c.closed {
+		cb(nil)
+		return
+	}
+	c.ensureConn()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cb
+	if err := c.conn.Send(reqSize, envelope{ID: id, Body: req}); err != nil {
+		delete(c.pending, id)
+		cb(nil)
+	}
+}
+
+// Pending reports in-flight calls.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// ConnState reports the transport connection's state for diagnostics:
+// "none", "established", "closed" or "connecting".
+func (c *Client) ConnState() string {
+	switch {
+	case c.conn == nil:
+		return "none"
+	case c.conn.Closed():
+		return "closed"
+	case c.conn.Established():
+		return "established"
+	}
+	return "connecting"
+}
+
+// Close tears the client down; pending calls get nil responses.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for id, cb := range c.pending {
+		delete(c.pending, id)
+		cb(nil)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

@@ -1,0 +1,108 @@
+package natsim
+
+import (
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// Firewall is a stateful packet filter at a realm boundary. Unlike a NAT it
+// does not translate addresses: hosts inside keep routable addresses, but
+// unsolicited inbound traffic is dropped unless it matches an established
+// outbound flow (a "pinhole") or a static allow rule.
+//
+// The paper's ncgrid.org site is the archetype: its firewall had exactly
+// one UDP port opened for IPOP traffic; every other site relied on
+// hole-punched flows only.
+type Firewall struct {
+	name  string
+	inner *phys.Realm
+	// FlowTTL expires idle pinholes. Zero means 120s.
+	flowTTL sim.Duration
+	clock   func() sim.Time
+	// allowPorts are statically open inbound destination ports.
+	allowPorts map[uint16]bool
+	// blockedProtos drops traffic of the given wire protocols entirely
+	// (some sites firewall UDP altogether, forcing overlay links onto
+	// the TCP transport).
+	blockedProtos map[uint8]bool
+	// flows maps (inner endpoint, outer endpoint) -> last use.
+	flows map[flowKey]sim.Time
+	// Drops counts packets dropped, by reason.
+	Drops map[string]int
+}
+
+type flowKey struct {
+	proto   uint8
+	inside  phys.Endpoint
+	outside phys.Endpoint
+}
+
+// NewFirewall creates a stateful firewall. allowPorts lists inbound
+// destination ports that are statically open (may be nil).
+func NewFirewall(name string, flowTTL sim.Duration, clock func() sim.Time, allowPorts ...uint16) *Firewall {
+	if flowTTL == 0 {
+		flowTTL = 120 * sim.Second
+	}
+	f := &Firewall{
+		name:          name,
+		flowTTL:       flowTTL,
+		clock:         clock,
+		allowPorts:    make(map[uint16]bool),
+		blockedProtos: make(map[uint8]bool),
+		flows:         make(map[flowKey]sim.Time),
+		Drops:         make(map[string]int),
+	}
+	for _, p := range allowPorts {
+		f.allowPorts[p] = true
+	}
+	return f
+}
+
+// Attach implements phys.Boundary.
+func (f *Firewall) Attach(inner, outer *phys.Realm) { f.inner = inner }
+
+// Claims implements phys.Boundary: the firewall claims every address
+// routable inside it — protected hosts and the public endpoints of nested
+// NATs (all globally routable; the firewall filters without translating).
+func (f *Firewall) Claims(ip phys.IP) bool { return f.inner.Covers(ip) }
+
+// Name returns the device name.
+func (f *Firewall) Name() string { return f.name }
+
+// BlockProto drops all traffic of the given wire protocol in both
+// directions (e.g. phys.WireUDP for a UDP-hostile site).
+func (f *Firewall) BlockProto(proto uint8) { f.blockedProtos[proto] = true }
+
+// Outbound implements phys.Boundary: record the flow pinhole and pass.
+func (f *Firewall) Outbound(now sim.Time, p *phys.Packet) bool {
+	if f.blockedProtos[p.Proto] {
+		f.Drops["proto"]++
+		return false
+	}
+	f.flows[flowKey{proto: p.Proto, inside: p.Src, outside: p.Dst}] = now
+	return true
+}
+
+// Inbound implements phys.Boundary: admit packets to statically open ports
+// or matching a live pinhole.
+func (f *Firewall) Inbound(now sim.Time, p *phys.Packet) bool {
+	if f.blockedProtos[p.Proto] {
+		f.Drops["proto"]++
+		return false
+	}
+	if f.allowPorts[p.Dst.Port] {
+		return true
+	}
+	k := flowKey{proto: p.Proto, inside: p.Dst, outside: p.Src}
+	if t, ok := f.flows[k]; ok {
+		if now.Sub(t) <= f.flowTTL {
+			f.flows[k] = now
+			return true
+		}
+		delete(f.flows, k)
+	}
+	f.Drops["unsolicited"]++
+	return false
+}
+
+var _ phys.Boundary = (*Firewall)(nil)

@@ -1,0 +1,241 @@
+// Package natsim models the NAT and firewall middleboxes of the WOW
+// testbed. The paper's connection-establishment results (Figures 4 and 5)
+// hinge on middlebox behaviour: the UFL NAT discards hairpin packets, the
+// VMware per-host NAT supports hairpin translation, the ncgrid firewall
+// admits a single UDP port, and node034 sits behind three nested NATs.
+// Each of those devices is reproducible with the types in this package.
+package natsim
+
+import (
+	"fmt"
+
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// NATType selects the translation/filtering discipline, following the
+// classic STUN taxonomy referenced by the paper's hole-punching citations.
+type NATType int
+
+const (
+	// FullCone maps each inner endpoint to one public port and accepts
+	// inbound from anyone.
+	FullCone NATType = iota
+	// RestrictedCone accepts inbound only from IPs the inner endpoint
+	// has previously sent to.
+	RestrictedCone
+	// PortRestricted accepts inbound only from IP:port pairs previously
+	// sent to. Hole punching still works when both sides send.
+	PortRestricted
+	// Symmetric allocates a distinct public port per (inner endpoint,
+	// destination) pair, defeating ordinary hole punching.
+	Symmetric
+)
+
+// String names the NAT type.
+func (t NATType) String() string {
+	switch t {
+	case FullCone:
+		return "full-cone"
+	case RestrictedCone:
+		return "restricted-cone"
+	case PortRestricted:
+		return "port-restricted"
+	case Symmetric:
+		return "symmetric"
+	}
+	return fmt.Sprintf("NATType(%d)", int(t))
+}
+
+// Config parameterizes a NAT device.
+type Config struct {
+	Type NATType
+	// Hairpin enables hairpin (NAT loopback) translation: packets from
+	// the inside addressed to the NAT's own public endpoint are turned
+	// around. The paper's UFL NAT lacks it; the VMware NAT has it.
+	Hairpin bool
+	// MappingTTL expires idle mappings. Zero means 120s, a typical
+	// consumer-router UDP timeout.
+	MappingTTL sim.Duration
+}
+
+type mapKey struct {
+	proto uint8
+	inner phys.Endpoint
+	dst   phys.Endpoint // used by symmetric NATs only (zero otherwise)
+}
+
+type mapping struct {
+	inner    phys.Endpoint
+	public   phys.Endpoint
+	lastUsed sim.Time
+	// peers records destinations the inner endpoint has contacted, for
+	// restricted-cone filtering: IP -> set of ports.
+	peers map[phys.IP]map[uint16]bool
+}
+
+// NAT is a network address translator implementing phys.Boundary.
+type NAT struct {
+	name     string
+	cfg      Config
+	publicIP phys.IP
+	inner    *phys.Realm
+	nextPort uint16
+	byKey    map[mapKey]*mapping
+	byPublic map[pubKey]*mapping
+	clock    func() sim.Time
+	// Drops counts packets dropped by this device, by reason.
+	Drops map[string]int
+}
+
+// NewNAT creates a NAT that will own publicIP in its outer realm. The
+// clock func supplies current virtual time (use sim.Simulator.Now).
+func NewNAT(name string, cfg Config, publicIP phys.IP, clock func() sim.Time) *NAT {
+	if cfg.MappingTTL == 0 {
+		cfg.MappingTTL = 120 * sim.Second
+	}
+	return &NAT{
+		name:     name,
+		cfg:      cfg,
+		publicIP: publicIP,
+		nextPort: 1024,
+		byKey:    make(map[mapKey]*mapping),
+		byPublic: make(map[pubKey]*mapping),
+		clock:    clock,
+		Drops:    make(map[string]int),
+	}
+}
+
+// Attach implements phys.Boundary.
+func (n *NAT) Attach(inner, outer *phys.Realm) { n.inner = inner }
+
+// Claims implements phys.Boundary: the NAT claims its public address.
+func (n *NAT) Claims(ip phys.IP) bool { return ip == n.publicIP }
+
+// PublicIP returns the NAT's outer address.
+func (n *NAT) PublicIP() phys.IP { return n.publicIP }
+
+// Name returns the device name.
+func (n *NAT) Name() string { return n.name }
+
+// Type returns the NAT discipline.
+func (n *NAT) Type() NATType { return n.cfg.Type }
+
+// Rebind flushes every translation table entry, modelling the NAT
+// IP/port translation changes the paper observed on the home-broadband
+// node034 (§V-E): ISP-driven re-binding that invalidates all established
+// flows at once. Overlay links through the NAT break until the protocols
+// re-establish them.
+func (n *NAT) Rebind() {
+	n.byKey = make(map[mapKey]*mapping)
+	n.byPublic = make(map[pubKey]*mapping)
+}
+
+// Mappings reports the number of live (unexpired) mappings.
+func (n *NAT) Mappings() int {
+	now := n.clock()
+	live := 0
+	for _, m := range n.byKey {
+		if now.Sub(m.lastUsed) <= n.cfg.MappingTTL {
+			live++
+		}
+	}
+	return live
+}
+
+func (n *NAT) key(proto uint8, inner, dst phys.Endpoint) mapKey {
+	if n.cfg.Type == Symmetric {
+		return mapKey{proto: proto, inner: inner, dst: dst}
+	}
+	return mapKey{proto: proto, inner: inner}
+}
+
+// pubKey identifies a public-side mapping: NATs keep separate UDP and TCP
+// translation tables.
+type pubKey struct {
+	proto uint8
+	port  uint16
+}
+
+func (n *NAT) allocPort(proto uint8) uint16 {
+	for {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = 1024
+		}
+		if _, taken := n.byPublic[pubKey{proto, p}]; !taken {
+			return p
+		}
+	}
+}
+
+func (n *NAT) lookupOrCreate(now sim.Time, proto uint8, inner, dst phys.Endpoint) *mapping {
+	k := n.key(proto, inner, dst)
+	m, ok := n.byKey[k]
+	if ok && now.Sub(m.lastUsed) > n.cfg.MappingTTL {
+		// Expired: a fresh flow gets a fresh public port, modelling
+		// the NAT translation changes the paper observed on the
+		// home-broadband node034.
+		delete(n.byKey, k)
+		delete(n.byPublic, pubKey{proto, m.public.Port})
+		ok = false
+	}
+	if !ok {
+		m = &mapping{
+			inner:  inner,
+			public: phys.Endpoint{IP: n.publicIP, Port: n.allocPort(proto)},
+			peers:  make(map[phys.IP]map[uint16]bool),
+		}
+		n.byKey[k] = m
+		n.byPublic[pubKey{proto, m.public.Port}] = m
+	}
+	m.lastUsed = now
+	if m.peers[dst.IP] == nil {
+		m.peers[dst.IP] = make(map[uint16]bool)
+	}
+	m.peers[dst.IP][dst.Port] = true
+	return m
+}
+
+// Outbound implements phys.Boundary: rewrite source to the public mapping.
+// Hairpin packets (dst == own public IP) are dropped unless Hairpin is set.
+func (n *NAT) Outbound(now sim.Time, p *phys.Packet) bool {
+	if p.Dst.IP == n.publicIP && !n.cfg.Hairpin {
+		n.Drops["hairpin"]++
+		return false
+	}
+	m := n.lookupOrCreate(now, p.Proto, p.Src, p.Dst)
+	p.Src = m.public
+	return true
+}
+
+// Inbound implements phys.Boundary: translate a packet addressed to one of
+// the NAT's public endpoints back to the mapped inner endpoint, subject to
+// the type's filtering discipline.
+func (n *NAT) Inbound(now sim.Time, p *phys.Packet) bool {
+	m, ok := n.byPublic[pubKey{p.Proto, p.Dst.Port}]
+	if !ok || now.Sub(m.lastUsed) > n.cfg.MappingTTL {
+		n.Drops["nomapping"]++
+		return false
+	}
+	switch n.cfg.Type {
+	case FullCone:
+		// accept from anyone
+	case RestrictedCone:
+		if m.peers[p.Src.IP] == nil {
+			n.Drops["filtered"]++
+			return false
+		}
+	case PortRestricted, Symmetric:
+		if m.peers[p.Src.IP] == nil || !m.peers[p.Src.IP][p.Src.Port] {
+			n.Drops["filtered"]++
+			return false
+		}
+	}
+	m.lastUsed = now
+	p.Dst = m.inner
+	return true
+}
+
+var _ phys.Boundary = (*NAT)(nil)

@@ -1,0 +1,21 @@
+package phys
+
+import "testing"
+
+// FuzzParseIP checks the parser never panics and round-trips everything
+// it accepts.
+func FuzzParseIP(f *testing.F) {
+	for _, seed := range []string{"10.0.0.1", "255.255.255.255", "0.0.0.0", "1.2.3", "a.b.c.d", "", "999.1.1.1", "1..2.3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		rt, err2 := ParseIP(ip.String())
+		if err2 != nil || rt != ip {
+			t.Fatalf("roundtrip broke: %q -> %v -> %v (%v)", s, ip, rt, err2)
+		}
+	})
+}

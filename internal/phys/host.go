@@ -1,0 +1,183 @@
+package phys
+
+import (
+	"fmt"
+
+	"wow/internal/sim"
+)
+
+// Host is a physical machine: it owns UDP sockets, a CPU with a finite
+// packet-processing rate, and an uplink with finite bandwidth. The paper's
+// PlanetLab router nodes are modelled as hosts with high LoadFactor, which
+// throttles multi-hop overlay paths exactly as observed in §V-B.
+type Host struct {
+	net   *Network
+	Name  string
+	Site  *Site
+	realm *Realm
+	ip    IP
+	cfg   HostConfig
+	up    bool
+
+	socks     map[wirePortKey]*UDPSock
+	nextPorts map[uint8]uint16
+	streamsSt *streamPeer
+
+	txBusyUntil  sim.Time // uplink serialization
+	cpuBusyUntil sim.Time // receive-path CPU serialization
+}
+
+// wirePortKey namespaces ports by wire protocol, as real hosts do: UDP
+// port 5000 and TCP port 5000 are independent.
+type wirePortKey struct {
+	proto uint8
+	port  uint16
+}
+
+// IP returns the host's address in its realm.
+func (h *Host) IP() IP { return h.ip }
+
+// Realm returns the address realm the host lives in.
+func (h *Host) Realm() *Realm { return h.realm }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// Sim returns the simulation clock shared by the network.
+func (h *Host) Sim() *sim.Simulator { return h.net.Sim }
+
+// Up reports whether the host is powered on.
+func (h *Host) Up() bool { return h.up }
+
+// SetUp powers the host on or off. Packets to a downed host are lost;
+// sockets survive power cycling (the owning process is assumed restarted by
+// higher layers).
+func (h *Host) SetUp(up bool) { h.up = up }
+
+// Config returns the host's performance model.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// SetLoadFactor changes the host's background-load multiplier, modelling
+// load spikes on shared infrastructure.
+func (h *Host) SetLoadFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	h.cfg.LoadFactor = f
+}
+
+// String renders "name(ip@site)".
+func (h *Host) String() string {
+	return fmt.Sprintf("%s(%s@%s)", h.Name, h.ip, h.Site.Name)
+}
+
+// receive runs the destination-side pipeline: CPU service-time queueing
+// with overload drops, then delivery to the bound socket.
+func (h *Host) receive(p *Packet) {
+	now := h.net.Sim.Now()
+	if !h.up {
+		h.net.drop("lost.hostdown", p)
+		return
+	}
+	svc := sim.Duration(float64(h.cfg.ServiceTime) * h.cfg.LoadFactor)
+	start := now
+	if h.cpuBusyUntil > start {
+		start = h.cpuBusyUntil
+	}
+	if start.Sub(now) > h.cfg.QueueLimit {
+		h.net.drop("lost.overload", p)
+		return
+	}
+	done := start.Add(svc)
+	h.cpuBusyUntil = done
+	h.net.Sim.At(done, func() {
+		if !h.up {
+			h.net.drop("lost.hostdown", p)
+			return
+		}
+		sock, ok := h.socks[wirePortKey{p.Proto, p.Dst.Port}]
+		if !ok || sock.closed {
+			h.net.drop("lost.noport", p)
+			return
+		}
+		h.net.Stats.Inc("delivered", 1)
+		if sock.OnRecv != nil {
+			sock.OnRecv(p)
+		}
+	})
+}
+
+// UDPSock is a bound wire socket on a host. Despite the name it serves
+// both wire namespaces: datagram sockets (WireUDP) and the segment
+// endpoints underneath Streams (WireTCP).
+type UDPSock struct {
+	host   *Host
+	proto  uint8
+	port   uint16
+	closed bool
+	// OnRecv is invoked for every datagram delivered to the socket, with
+	// Src reflecting whatever translations NATs applied en route — the
+	// address a reply should target.
+	OnRecv func(p *Packet)
+}
+
+// ErrPortInUse is returned when binding an already-bound port.
+var ErrPortInUse = fmt.Errorf("phys: port already bound")
+
+// Listen binds a UDP socket on the given port. Port 0 picks an ephemeral
+// port.
+func (h *Host) Listen(port uint16) (*UDPSock, error) {
+	return h.listenWire(WireUDP, port)
+}
+
+// listenWire binds a socket in the given wire namespace.
+func (h *Host) listenWire(proto uint8, port uint16) (*UDPSock, error) {
+	if port == 0 {
+		for {
+			port = h.nextPorts[proto]
+			if port == 0 {
+				port = 32768
+			}
+			h.nextPorts[proto] = port + 1
+			if _, taken := h.socks[wirePortKey{proto, port}]; !taken {
+				break
+			}
+		}
+	} else if _, taken := h.socks[wirePortKey{proto, port}]; taken {
+		return nil, fmt.Errorf("%w: %d/%d on %s", ErrPortInUse, port, proto, h.Name)
+	}
+	s := &UDPSock{host: h, proto: proto, port: port}
+	h.socks[wirePortKey{proto, port}] = s
+	return s, nil
+}
+
+// Port returns the bound port.
+func (s *UDPSock) Port() uint16 { return s.port }
+
+// Host returns the owning host.
+func (s *UDPSock) Host() *Host { return s.host }
+
+// LocalEndpoint returns the socket's endpoint as seen inside its realm
+// (private address when behind NAT).
+func (s *UDPSock) LocalEndpoint() Endpoint {
+	return Endpoint{IP: s.host.ip, Port: s.port}
+}
+
+// Send transmits a datagram of the given size to dst. Delivery (or loss)
+// is scheduled on the simulator; Send never blocks.
+func (s *UDPSock) Send(dst Endpoint, size int, payload any) {
+	if s.closed || !s.host.up {
+		return
+	}
+	p := &Packet{Src: s.LocalEndpoint(), Dst: dst, Proto: s.proto, Size: size, Payload: payload}
+	s.host.net.send(s.host, p)
+}
+
+// Close unbinds the socket. Packets in flight to it are dropped on arrival.
+func (s *UDPSock) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.host.socks, wirePortKey{s.proto, s.port})
+}

@@ -1,0 +1,321 @@
+package phys
+
+import (
+	"fmt"
+
+	"wow/internal/metrics"
+	"wow/internal/sim"
+)
+
+// Boundary is a middlebox (NAT or firewall) connecting an inner address
+// realm to its outer realm. Implementations live in internal/natsim.
+type Boundary interface {
+	// Attach is called once when the boundary is installed between realms.
+	Attach(inner, outer *Realm)
+	// Outbound processes a packet leaving the inner realm, possibly
+	// rewriting p.Src. It reports false to drop the packet (e.g. a
+	// hairpin packet on a NAT without hairpin support, or a firewall
+	// egress rule).
+	Outbound(now sim.Time, p *Packet) bool
+	// Inbound processes a packet arriving from the outer realm that this
+	// boundary Claims. For a NAT, p.Dst is one of its public endpoints
+	// and is rewritten to the mapped inner endpoint; for a firewall,
+	// p.Dst is already an inner routable address. It reports false to
+	// drop (no mapping, filtered source, closed pinhole).
+	Inbound(now sim.Time, p *Packet) bool
+	// Claims reports whether inbound packets addressed to ip in the
+	// outer realm should be handed to this boundary.
+	Claims(ip IP) bool
+}
+
+// Site is a network location. Path characteristics between two hosts are
+// looked up by their sites' indices in the network's latency model.
+type Site struct {
+	Name  string
+	Index int
+}
+
+// PathModel describes the wide-area path between two sites.
+type PathModel struct {
+	// OneWay is the one-way propagation delay.
+	OneWay sim.Duration
+	// Jitter uniformly perturbs OneWay by ±Jitter per packet.
+	Jitter sim.Duration
+	// Loss is the independent per-packet loss probability.
+	Loss float64
+}
+
+// LatencyFunc returns the path model between two sites.
+type LatencyFunc func(a, b *Site) PathModel
+
+// Realm is an address scope: the public Internet (root) or a private
+// network behind a Boundary. Hosts are registered in exactly one realm and
+// their IPs are unique within it.
+type Realm struct {
+	Name     string
+	parent   *Realm
+	boundary Boundary // connects this realm to parent; nil for root
+	hosts    map[IP]*Host
+	children []childBoundary
+	nextIP   IP
+}
+
+type childBoundary struct {
+	b     Boundary
+	inner *Realm
+}
+
+// HasHost reports whether ip belongs to a host registered in this realm.
+// NAT and firewall boundaries use it to decide what they claim.
+func (r *Realm) HasHost(ip IP) bool {
+	_, ok := r.hosts[ip]
+	return ok
+}
+
+// Covers reports whether ip is addressable within this realm: a host here,
+// or an address claimed by a nested boundary (e.g. the public endpoint of
+// a VMware NAT inside a firewalled campus network). Firewalls claim their
+// inner realm's whole coverage, since they filter but do not translate.
+func (r *Realm) Covers(ip IP) bool {
+	if r.HasHost(ip) {
+		return true
+	}
+	for _, cb := range r.children {
+		if cb.b.Claims(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Hosts returns the number of hosts registered in the realm.
+func (r *Realm) Hosts() int { return len(r.hosts) }
+
+// NextIP allocates the next unused address in the realm, counting up from
+// the base passed to AddRealm/root creation.
+func (r *Realm) NextIP() IP {
+	for {
+		ip := r.nextIP
+		r.nextIP++
+		if _, taken := r.hosts[ip]; !taken {
+			return ip
+		}
+	}
+}
+
+// Network is the simulated physical Internet: sites, realms, hosts and the
+// packet-delivery pipeline.
+type Network struct {
+	Sim     *sim.Simulator
+	Latency LatencyFunc
+	// Stats counts delivery outcomes: delivered, lost.wire, lost.noroute,
+	// lost.boundary, lost.hostdown, lost.noport, lost.overload.
+	Stats metrics.Counter
+	// OnDrop, when set, observes every dropped packet with its loss
+	// reason; a diagnostics hook used by tests and experiment harnesses.
+	OnDrop func(reason string, p *Packet)
+
+	sites      []*Site
+	root       *Realm
+	hosts      []*Host
+	nextConnID uint64
+}
+
+// NewNetwork creates a network with the given latency model. The root
+// (public) realm allocates IPs starting at 128.0.0.1.
+func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
+	return &Network{
+		Sim:     s,
+		Latency: latency,
+		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
+	}
+}
+
+// Root returns the public Internet realm.
+func (n *Network) Root() *Realm { return n.root }
+
+// AddSite registers a new site.
+func (n *Network) AddSite(name string) *Site {
+	s := &Site{Name: name, Index: len(n.sites)}
+	n.sites = append(n.sites, s)
+	return s
+}
+
+// AddRealm creates a private realm behind boundary, attached under outer.
+// Hosts added to it allocate IPs from ipBase upward.
+func (n *Network) AddRealm(name string, outer *Realm, boundary Boundary, ipBase IP) *Realm {
+	r := &Realm{
+		Name:     name,
+		parent:   outer,
+		boundary: boundary,
+		hosts:    make(map[IP]*Host),
+		nextIP:   ipBase,
+	}
+	outer.children = append(outer.children, childBoundary{b: boundary, inner: r})
+	boundary.Attach(r, outer)
+	return r
+}
+
+// HostConfig sets a host's performance model.
+type HostConfig struct {
+	// ServiceTime is the CPU time spent processing one packet at user
+	// level (receive + route + resend in the IPOP router). Zero means
+	// negligible.
+	ServiceTime sim.Duration
+	// LoadFactor scales ServiceTime; >1 models background load (the
+	// paper's "highly loaded PlanetLab nodes"). Zero means 1.
+	LoadFactor float64
+	// Bandwidth is the NIC/uplink throughput in bytes/second. Zero means
+	// effectively infinite.
+	Bandwidth float64
+	// QueueLimit bounds the CPU backlog; packets arriving when the
+	// backlog exceeds it are dropped (congestion loss). Zero means
+	// 200ms worth of backlog.
+	QueueLimit sim.Duration
+}
+
+// AddHost creates a host at site in realm with an automatically allocated
+// address.
+func (n *Network) AddHost(name string, site *Site, realm *Realm, cfg HostConfig) *Host {
+	ip := realm.NextIP()
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = 1
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = 200 * sim.Millisecond
+	}
+	h := &Host{
+		net:       n,
+		Name:      name,
+		Site:      site,
+		realm:     realm,
+		ip:        ip,
+		cfg:       cfg,
+		up:        true,
+		socks:     make(map[wirePortKey]*UDPSock),
+		nextPorts: make(map[uint8]uint16),
+	}
+	realm.hosts[ip] = h
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// route walks the packet from the sender's realm to a destination host,
+// applying boundary translations. It returns the destination host, or nil
+// with a loss-reason counter name.
+func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
+	realm := from
+	for hops := 0; hops < 64; hops++ {
+		if h, ok := realm.hosts[p.Dst.IP]; ok {
+			return h, ""
+		}
+		descended := false
+		for _, cb := range realm.children {
+			if cb.b.Claims(p.Dst.IP) {
+				if !cb.b.Inbound(now, p) {
+					return nil, "lost.boundary"
+				}
+				realm = cb.inner
+				descended = true
+				break
+			}
+		}
+		if descended {
+			continue
+		}
+		if realm.parent == nil {
+			return nil, "lost.noroute"
+		}
+		if !realm.boundary.Outbound(now, p) {
+			return nil, "lost.boundary"
+		}
+		realm = realm.parent
+	}
+	return nil, "lost.noroute"
+}
+
+// send injects a packet from host src. It computes the delivery schedule
+// (transmission, propagation, destination CPU) and routes through
+// middleboxes. The final translated packet is handed to the destination
+// socket's receive callback.
+func (n *Network) send(src *Host, p *Packet) {
+	now := n.Sim.Now()
+	if p.Proto == 0 {
+		p.Proto = WireUDP
+	}
+
+	// Transmission delay serialized on the sender's uplink.
+	depart := now
+	if src.cfg.Bandwidth > 0 {
+		tx := sim.Duration(float64(p.Size) / src.cfg.Bandwidth * float64(sim.Second))
+		if src.txBusyUntil > depart {
+			depart = src.txBusyUntil
+		}
+		depart = depart.Add(tx)
+		src.txBusyUntil = depart
+	}
+
+	dst, reason := n.route(now, p, src.realm)
+	if dst == nil {
+		n.drop(reason, p)
+		return
+	}
+	if !dst.up {
+		n.drop("lost.hostdown", p)
+		return
+	}
+
+	pm := n.Latency(src.Site, dst.Site)
+	if pm.Loss > 0 && n.Sim.Rand().Float64() < pm.Loss {
+		n.drop("lost.wire", p)
+		return
+	}
+	prop := pm.OneWay
+	if pm.Jitter > 0 {
+		prop += sim.Duration(n.Sim.Rand().Int63n(int64(2*pm.Jitter))) - pm.Jitter
+		if prop < 0 {
+			prop = 0
+		}
+	}
+
+	arrive := depart.Add(prop)
+	n.Sim.At(arrive, func() { dst.receive(p) })
+}
+
+// drop records a packet loss and notifies the diagnostics hook.
+func (n *Network) drop(reason string, p *Packet) {
+	n.Stats.Inc(reason, 1)
+	if n.OnDrop != nil {
+		n.OnDrop(reason, p)
+	}
+}
+
+// AllHosts returns every host in creation order.
+func (n *Network) AllHosts() []*Host { return n.hosts }
+
+// String summarizes the network.
+func (n *Network) String() string {
+	return fmt.Sprintf("phys.Network{sites=%d hosts=%d}", len(n.sites), len(n.hosts))
+}
+
+// UniformLatency returns a LatencyFunc with lan characteristics within a
+// site and wan characteristics between sites.
+func UniformLatency(lan, wan PathModel) LatencyFunc {
+	return func(a, b *Site) PathModel {
+		if a == b {
+			return lan
+		}
+		return wan
+	}
+}
+
+// MatrixLatency returns a LatencyFunc backed by a symmetric site-by-site
+// matrix of one-way delays; jitter and loss apply to inter-site paths only.
+func MatrixLatency(oneWay [][]sim.Duration, jitter sim.Duration, loss float64, lan PathModel) LatencyFunc {
+	return func(a, b *Site) PathModel {
+		if a == b {
+			return lan
+		}
+		return PathModel{OneWay: oneWay[a.Index][b.Index], Jitter: jitter, Loss: loss}
+	}
+}

@@ -1,0 +1,461 @@
+package phys
+
+import (
+	"errors"
+	"fmt"
+
+	"wow/internal/sim"
+)
+
+// Streams model kernel TCP connections between hosts, the transport behind
+// brunet.tcp URIs ("currently there are implementations for TCP and UDP
+// transports", §IV-A). A Stream delivers messages reliably and in order;
+// segments ride the same middlebox pipeline as datagrams but in the TCP
+// wire namespace, so NATs and firewalls track them in separate tables —
+// and sites whose firewalls drop UDP can still carry overlay links.
+//
+// The model is deliberately lean compared to internal/vip's guest TCP:
+// overlay links carry small control messages and tunnelled packets, so
+// streams provide a fixed send window with retransmission and backoff but
+// no congestion control.
+
+// ErrStreamTimeout reports a stream abandoned after retransmission gave
+// up (peer crashed, path severed, NAT mapping lost).
+var ErrStreamTimeout = errors.New("phys: stream timed out")
+
+// ErrStreamRefused reports a connection attempt to a port with no
+// listener.
+var ErrStreamRefused = errors.New("phys: stream connection refused")
+
+// Stream wire messages.
+type streamSyn struct {
+	ConnID uint64
+}
+type streamSynAck struct {
+	ConnID uint64
+}
+type streamRst struct {
+	ConnID uint64
+}
+type streamSeg struct {
+	ConnID  uint64
+	Seq     uint64 // 1-based message sequence
+	Size    int
+	Payload any
+	Fin     bool
+}
+type streamAck struct {
+	ConnID uint64
+	CumAck uint64 // all messages <= CumAck received
+}
+
+const (
+	streamHdrSize = 24
+	streamWindow  = 64 // outstanding messages before queuing
+	// streamIdleReap collects streams with no traffic in either
+	// direction — orphans left behind by abandoned link attempts.
+	// Active overlay links always carry sub-minute keepalives.
+	streamIdleReap = 5 * sim.Minute
+)
+
+// streamState values.
+const (
+	streamSynSent = iota
+	streamOpen
+	streamClosed
+)
+
+// Stream is one reliable, ordered message connection between two hosts.
+type Stream struct {
+	host     *Host
+	sock     *UDPSock // underlying wire endpoint (TCP namespace)
+	ownsSock bool     // dialer side owns its socket; accepted streams share the listener's
+	remote   Endpoint
+	connID   uint64
+	state    int
+
+	// send side
+	nextSeq uint64
+	sendBuf map[uint64]*streamSeg // unacked, by seq
+	queue   []*streamSeg          // beyond the window
+	finSeq  uint64
+	closing bool
+
+	rto      sim.Duration
+	retries  int
+	rtoTimer *sim.Event
+
+	// receive side
+	rcvNext   uint64
+	oo        map[uint64]*streamSeg
+	remoteFin uint64
+
+	onMsg   func(size int, payload any)
+	onOpen  func()
+	onClose func(err error)
+	closed  bool
+
+	lastActivity sim.Time
+	reaper       *sim.Ticker
+}
+
+// streamPeer is the per-host stream dispatch state.
+type streamPeer struct {
+	listeners map[uint16]func(*Stream)
+	conns     map[uint64]*Stream // by connID
+}
+
+func (h *Host) streamState() *streamPeer {
+	if h.streamsSt == nil {
+		h.streamsSt = &streamPeer{
+			listeners: make(map[uint16]func(*Stream)),
+			conns:     make(map[uint64]*Stream),
+		}
+	}
+	return h.streamsSt
+}
+
+// StreamListener accepts inbound streams on a port.
+type StreamListener struct {
+	host *Host
+	port uint16
+	sock *UDPSock
+}
+
+// Port returns the listening port.
+func (l *StreamListener) Port() uint16 { return l.port }
+
+// Close stops accepting new streams; established streams survive.
+func (l *StreamListener) Close() {
+	st := l.host.streamState()
+	delete(st.listeners, l.port)
+	l.sock.Close()
+}
+
+// ListenStream accepts stream connections on port (0 picks ephemeral) in
+// the TCP wire namespace; accept fires once per established inbound
+// stream, after the handshake.
+func (h *Host) ListenStream(port uint16, accept func(*Stream)) (*StreamListener, error) {
+	st := h.streamState()
+	sock, err := h.listenWire(WireTCP, port)
+	if err != nil {
+		return nil, fmt.Errorf("phys: stream listen: %w", err)
+	}
+	port = sock.Port()
+	if _, taken := st.listeners[port]; taken {
+		sock.Close()
+		return nil, fmt.Errorf("phys: stream port %d already listening on %s", port, h.Name)
+	}
+	st.listeners[port] = accept
+	l := &StreamListener{host: h, port: port, sock: sock}
+	sock.OnRecv = func(p *Packet) { h.streamDispatchListener(l, p) }
+	return l, nil
+}
+
+// DialStream opens a stream to dst. Messages may be sent immediately;
+// they flow after the handshake. Failure surfaces via OnClose.
+func (h *Host) DialStream(dst Endpoint) *Stream {
+	sock, err := h.listenWire(WireTCP, 0)
+	if err != nil {
+		panic(fmt.Sprintf("phys: ephemeral stream port: %v", err))
+	}
+	h.net.nextConnID++
+	s := &Stream{
+		host:     h,
+		sock:     sock,
+		ownsSock: true,
+		remote:   dst,
+		connID:   h.net.nextConnID,
+		state:    streamSynSent,
+		sendBuf:  make(map[uint64]*streamSeg),
+		oo:       make(map[uint64]*streamSeg),
+		rto:      sim.Second,
+	}
+	h.streamState().conns[s.connID] = s
+	sock.OnRecv = s.receive
+	s.startReaper()
+	s.emit(streamHdrSize, streamSyn{ConnID: s.connID})
+	s.armRTO()
+	return s
+}
+
+// RemoteEndpoint returns the peer's wire endpoint as observed (NAT-
+// translated for accepted streams) — what a URI learner records.
+func (s *Stream) RemoteEndpoint() Endpoint { return s.remote }
+
+// LocalEndpoint returns this side's wire endpoint in its realm.
+func (s *Stream) LocalEndpoint() Endpoint { return s.sock.LocalEndpoint() }
+
+// Open reports whether the handshake completed and the stream is usable.
+func (s *Stream) Open() bool { return s.state == streamOpen }
+
+// OnMessage registers the in-order delivery callback.
+func (s *Stream) OnMessage(f func(size int, payload any)) { s.onMsg = f }
+
+// OnOpen registers the handshake-completion callback (dialer side).
+func (s *Stream) OnOpen(f func()) { s.onOpen = f }
+
+// OnClose registers the teardown callback; err is nil for a clean remote
+// close.
+func (s *Stream) OnClose(f func(err error)) { s.onClose = f }
+
+// SendMsg queues one message of the given wire size for reliable in-order
+// delivery. Sending on a closed stream is a silent no-op (the OnClose
+// callback has already reported the failure).
+func (s *Stream) SendMsg(size int, payload any) {
+	if s.state == streamClosed || s.closing {
+		return
+	}
+	s.nextSeq++
+	seg := &streamSeg{ConnID: s.connID, Seq: s.nextSeq, Size: size, Payload: payload}
+	s.transmitOrQueue(seg)
+}
+
+// Close flushes queued messages then closes; the peer sees OnClose(nil)
+// once everything is delivered.
+func (s *Stream) Close() {
+	if s.state == streamClosed || s.closing {
+		return
+	}
+	s.closing = true
+	s.nextSeq++
+	s.finSeq = s.nextSeq
+	fin := &streamSeg{ConnID: s.connID, Seq: s.nextSeq, Fin: true}
+	s.transmitOrQueue(fin)
+}
+
+func (s *Stream) transmitOrQueue(seg *streamSeg) {
+	if s.state != streamOpen || uint64(len(s.sendBuf)) >= streamWindow {
+		s.queue = append(s.queue, seg)
+		return
+	}
+	s.sendBuf[seg.Seq] = seg
+	s.emit(streamHdrSize+seg.Size, *seg)
+	s.armRTO()
+}
+
+// drainQueue moves queued messages into the window.
+func (s *Stream) drainQueue() {
+	for len(s.queue) > 0 && uint64(len(s.sendBuf)) < streamWindow {
+		seg := s.queue[0]
+		s.queue = s.queue[1:]
+		s.sendBuf[seg.Seq] = seg
+		s.emit(streamHdrSize+seg.Size, *seg)
+	}
+	s.armRTO()
+}
+
+func (s *Stream) emit(size int, payload any) {
+	s.lastActivity = s.host.Sim().Now()
+	s.sock.Send(s.remote, size, payload)
+}
+
+// startReaper arms the idle collector.
+func (s *Stream) startReaper() {
+	s.lastActivity = s.host.Sim().Now()
+	s.reaper = s.host.Sim().Tick(streamIdleReap/2, streamIdleReap/10, func() {
+		if s.state == streamClosed {
+			s.reaper.Stop()
+			return
+		}
+		if s.host.Sim().Now().Sub(s.lastActivity) > streamIdleReap {
+			s.abort(ErrStreamTimeout)
+		}
+	})
+}
+
+func (s *Stream) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if s.state == streamClosed {
+		return
+	}
+	if s.state == streamOpen && len(s.sendBuf) == 0 {
+		return
+	}
+	s.rtoTimer = s.host.Sim().After(s.rto, s.onTimeout)
+}
+
+func (s *Stream) onTimeout() {
+	if s.state == streamClosed {
+		return
+	}
+	s.retries++
+	if s.retries > 8 {
+		s.abort(ErrStreamTimeout)
+		return
+	}
+	switch s.state {
+	case streamSynSent:
+		s.emit(streamHdrSize, streamSyn{ConnID: s.connID})
+	case streamOpen:
+		// Retransmit the earliest unacked message.
+		var lo uint64
+		for seq := range s.sendBuf {
+			if lo == 0 || seq < lo {
+				lo = seq
+			}
+		}
+		if seg, ok := s.sendBuf[lo]; ok {
+			s.emit(streamHdrSize+seg.Size, *seg)
+		}
+	}
+	s.rto *= 2
+	if s.rto > 30*sim.Second {
+		s.rto = 30 * sim.Second
+	}
+	s.armRTO()
+}
+
+func (s *Stream) abort(err error) {
+	if s.state == streamClosed {
+		return
+	}
+	s.state = streamClosed
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	delete(s.host.streamState().conns, s.connID)
+	if s.reaper != nil {
+		s.reaper.Stop()
+	}
+	if s.ownsSock {
+		s.sock.Close()
+	}
+	if !s.closed {
+		s.closed = true
+		if s.onClose != nil {
+			s.onClose(err)
+		}
+	}
+}
+
+// receive handles wire traffic for an established or dialing stream.
+func (s *Stream) receive(p *Packet) {
+	s.lastActivity = s.host.Sim().Now()
+	switch m := p.Payload.(type) {
+	case streamSynAck:
+		if m.ConnID != s.connID || s.state != streamSynSent {
+			return
+		}
+		s.state = streamOpen
+		s.retries = 0
+		s.rto = sim.Second
+		if s.onOpen != nil {
+			s.onOpen()
+		}
+		s.drainQueue()
+	case streamRst:
+		if m.ConnID == s.connID {
+			s.abort(ErrStreamRefused)
+		}
+	case streamAck:
+		if m.ConnID != s.connID {
+			return
+		}
+		progressed := false
+		for seq := range s.sendBuf {
+			if seq <= m.CumAck {
+				delete(s.sendBuf, seq)
+				progressed = true
+			}
+		}
+		if progressed {
+			s.retries = 0
+			s.rto = sim.Second
+			s.drainQueue()
+		}
+		if s.closing && s.finSeq > 0 && m.CumAck >= s.finSeq {
+			s.abort(nil) // clean: our FIN delivered
+		}
+	case streamSeg:
+		if m.ConnID != s.connID {
+			return
+		}
+		s.acceptSeg(&m)
+	}
+}
+
+// acceptSeg handles an inbound data segment (either side).
+func (s *Stream) acceptSeg(seg *streamSeg) {
+	switch {
+	case seg.Seq == s.rcvNext+1:
+		s.deliver(seg)
+		for {
+			next, ok := s.oo[s.rcvNext+1]
+			if !ok {
+				break
+			}
+			delete(s.oo, s.rcvNext+1)
+			s.deliver(next)
+		}
+	case seg.Seq > s.rcvNext+1:
+		s.oo[seg.Seq] = seg
+	}
+	s.emit(streamHdrSize, streamAck{ConnID: s.connID, CumAck: s.rcvNext})
+	if s.remoteFin > 0 && s.rcvNext == s.remoteFin && s.state != streamClosed {
+		s.abort(nil)
+	}
+}
+
+func (s *Stream) deliver(seg *streamSeg) {
+	s.rcvNext = seg.Seq
+	if seg.Fin {
+		s.remoteFin = seg.Seq
+		return
+	}
+	if s.onMsg != nil {
+		s.onMsg(seg.Size, seg.Payload)
+	}
+}
+
+// streamDispatchListener routes listener-socket traffic: SYNs create
+// accepted streams; everything else dispatches by connection ID.
+func (h *Host) streamDispatchListener(l *StreamListener, p *Packet) {
+	st := h.streamState()
+	switch m := p.Payload.(type) {
+	case streamSyn:
+		if s, ok := st.conns[m.ConnID]; ok {
+			// Duplicate SYN: our SYNACK was lost.
+			s.emit(streamHdrSize, streamSynAck{ConnID: m.ConnID})
+			return
+		}
+		accept, listening := st.listeners[l.port]
+		if !listening {
+			l.sock.Send(p.Src, streamHdrSize, streamRst{ConnID: m.ConnID})
+			return
+		}
+		s := &Stream{
+			host:    h,
+			sock:    l.sock,
+			remote:  p.Src,
+			connID:  m.ConnID,
+			state:   streamOpen,
+			sendBuf: make(map[uint64]*streamSeg),
+			oo:      make(map[uint64]*streamSeg),
+			rto:     sim.Second,
+		}
+		st.conns[m.ConnID] = s
+		s.startReaper()
+		s.emit(streamHdrSize, streamSynAck{ConnID: m.ConnID})
+		accept(s)
+	case streamSeg:
+		if s, ok := st.conns[m.ConnID]; ok {
+			s.remote = p.Src // track NAT rebinding
+			s.lastActivity = h.Sim().Now()
+			s.acceptSeg(&m)
+		} else {
+			l.sock.Send(p.Src, streamHdrSize, streamRst{ConnID: m.ConnID})
+		}
+	case streamAck:
+		if s, ok := st.conns[m.ConnID]; ok {
+			s.receive(p)
+		}
+	case streamRst:
+		if s, ok := st.conns[m.ConnID]; ok {
+			s.abort(ErrStreamRefused)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package vip implements the virtual IP stack that WOW guests use over the
+// IPOP tunnel: IPv4-like packets, ICMP echo, UDP datagrams, and a reliable
+// TCP-lite transport with slow start, AIMD congestion control and
+// exponential-backoff retransmission.
+//
+// The paper's point is that *unmodified* TCP/IP middleware (NFS, SSH, PBS,
+// PVM) runs over the virtual network and survives multi-minute
+// connectivity outages during VM migration; this stack reproduces the
+// relevant transport behaviour — window-limited throughput, loss recovery,
+// and patience across outages — without re-implementing a kernel.
+package vip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wow/internal/sim"
+)
+
+// IP is a virtual IPv4 address on the WOW private network (the paper's
+// 172.16.1.x space).
+type IP uint32
+
+// String renders dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// ParseIP parses a dotted quad.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("vip: invalid IP %q", s)
+	}
+	var ip IP
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("vip: invalid IP %q", s)
+		}
+		ip = ip<<8 | IP(v)
+	}
+	return ip, nil
+}
+
+// MustParseIP is ParseIP that panics on malformed input.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Proto identifies the transport protocol of a virtual IP packet.
+type Proto uint8
+
+// Transport protocol numbers (matching IANA for familiarity).
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// Packet is one virtual IP packet. Size includes header overhead and
+// drives transmission-time modelling in the physical substrate underneath
+// the tunnel.
+type Packet struct {
+	Src, Dst IP
+	Proto    Proto
+	Size     int
+	Seg      any // *TCPSegment, *UDPDatagram or *ICMPEcho
+}
+
+// Header sizes in bytes.
+const (
+	ipHdrSize   = 20
+	tcpHdrSize  = 20
+	udpHdrSize  = 8
+	icmpHdrSize = 8
+)
+
+// Carrier is the tunnel underneath the stack; internal/ipop implements it
+// over the Brunet overlay. A Carrier may be killed and restarted (VM
+// migration) without the Stack noticing anything but packet loss.
+type Carrier interface {
+	// LocalVIP returns the virtual IP this carrier serves.
+	LocalVIP() IP
+	// SendIP tunnels a packet toward its destination.
+	SendIP(p *Packet)
+	// SetReceiver installs the upcall for packets arriving for LocalVIP.
+	SetReceiver(f func(p *Packet))
+	// Clock exposes the simulation clock for timers.
+	Clock() *sim.Simulator
+}
+
+// ICMPEcho is an echo request/reply, the probe used throughout §V-B.
+type ICMPEcho struct {
+	Reply bool
+	ID    uint64
+	Seq   int
+	Sent  sim.Time
+}
+
+// UDPDatagram carries one message-oriented payload.
+type UDPDatagram struct {
+	SrcPort, DstPort uint16
+	Msg              any
+}

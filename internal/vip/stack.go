@@ -1,0 +1,231 @@
+package vip
+
+import (
+	"fmt"
+
+	"wow/internal/metrics"
+	"wow/internal/sim"
+)
+
+// StackConfig tunes the transport layer. Zero values select defaults.
+type StackConfig struct {
+	// MSS is the TCP maximum segment payload in bytes.
+	MSS int
+	// Window is the TCP flow-control window in segments; cwnd never
+	// exceeds it. The default (40 segments ≈ 56 KB at MSS 1400) gives
+	// the wide-area window-limited throughput observed in Table II.
+	Window int
+	// MinRTO / MaxRTO clamp the retransmission timeout.
+	MinRTO, MaxRTO sim.Duration
+	// GiveUp abandons a connection after this much time without any
+	// acknowledged progress. The default 15 minutes lets connections
+	// survive the ~8 minute migration outages of §V-C, as real TCP
+	// stacks did in the paper's experiments.
+	GiveUp sim.Duration
+	// KeepAliveIdle starts keepalive probing on a connection idle this
+	// long; after KeepAliveProbes unanswered probes the connection
+	// aborts with ErrTimeout. The default mirrors Linux: 2 hours idle,
+	// 9 probes at 75 s — long enough that migration outages pass
+	// unnoticed (as the paper's NFS/PBS sessions did), short enough
+	// that crashed peers are eventually cleaned up. Negative disables.
+	KeepAliveIdle   sim.Duration
+	KeepAliveProbes int
+}
+
+func (c *StackConfig) fillDefaults() {
+	if c.MSS == 0 {
+		c.MSS = 1400
+	}
+	if c.Window == 0 {
+		c.Window = 40
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+	if c.GiveUp == 0 {
+		c.GiveUp = 15 * sim.Minute
+	}
+	if c.KeepAliveIdle == 0 {
+		c.KeepAliveIdle = 2 * sim.Hour
+	}
+	if c.KeepAliveProbes == 0 {
+		c.KeepAliveProbes = 9
+	}
+}
+
+// Stack is a per-node virtual IP endpoint: ICMP echo responder, UDP ports
+// and TCP connections, all tunnelled through a Carrier.
+type Stack struct {
+	carrier Carrier
+	cfg     StackConfig
+	sim     *sim.Simulator
+
+	pingID    uint64
+	pingSeq   int
+	pings     map[uint64]*pingState
+	udp       map[uint16]UDPHandler
+	listeners map[uint16]func(*Conn)
+	conns     map[connKey]*Conn
+	nextPort  uint16
+
+	// Stats counts stack events (packets in/out, retransmits, resets).
+	Stats metrics.Counter
+}
+
+// UDPHandler receives a datagram's source address and payload.
+type UDPHandler func(src IP, srcPort uint16, size int, msg any)
+
+type pingState struct {
+	cb      func(ok bool, rtt sim.Duration)
+	timeout *sim.Event
+}
+
+// NewStack creates a stack over the carrier.
+func NewStack(carrier Carrier, cfg StackConfig) *Stack {
+	cfg.fillDefaults()
+	s := &Stack{
+		carrier:   carrier,
+		cfg:       cfg,
+		sim:       carrier.Clock(),
+		pings:     make(map[uint64]*pingState),
+		udp:       make(map[uint16]UDPHandler),
+		listeners: make(map[uint16]func(*Conn)),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  32768,
+	}
+	carrier.SetReceiver(s.receive)
+	return s
+}
+
+// IP returns the stack's virtual address.
+func (s *Stack) IP() IP { return s.carrier.LocalVIP() }
+
+// Sim returns the simulation clock.
+func (s *Stack) Sim() *sim.Simulator { return s.sim }
+
+// Config returns the stack's transport constants.
+func (s *Stack) Config() StackConfig { return s.cfg }
+
+func (s *Stack) send(p *Packet) {
+	s.Stats.Inc("ip.out", 1)
+	s.carrier.SendIP(p)
+}
+
+func (s *Stack) receive(p *Packet) {
+	if p.Dst != s.IP() {
+		s.Stats.Inc("ip.misdelivered", 1)
+		return
+	}
+	s.Stats.Inc("ip.in", 1)
+	switch p.Proto {
+	case ProtoICMP:
+		s.handleICMP(p)
+	case ProtoUDP:
+		s.handleUDP(p)
+	case ProtoTCP:
+		s.handleTCP(p)
+	default:
+		s.Stats.Inc("ip.unknown_proto", 1)
+	}
+}
+
+// Ping sends one ICMP echo request of the given payload size and invokes
+// cb with the outcome: ok=false after timeout (a dropped request or
+// reply), mirroring how the paper's ping-based join profiles (Fig. 4/5)
+// are measured.
+func (s *Stack) Ping(dst IP, size int, timeout sim.Duration, cb func(ok bool, rtt sim.Duration)) {
+	s.pingID++
+	id := s.pingID
+	s.pingSeq++
+	st := &pingState{cb: cb}
+	s.pings[id] = st
+	st.timeout = s.sim.After(timeout, func() {
+		if _, live := s.pings[id]; live {
+			delete(s.pings, id)
+			s.Stats.Inc("icmp.timeout", 1)
+			cb(false, 0)
+		}
+	})
+	s.send(&Packet{
+		Src: s.IP(), Dst: dst, Proto: ProtoICMP,
+		Size: ipHdrSize + icmpHdrSize + size,
+		Seg:  &ICMPEcho{ID: id, Seq: s.pingSeq, Sent: s.sim.Now()},
+	})
+	s.Stats.Inc("icmp.sent", 1)
+}
+
+func (s *Stack) handleICMP(p *Packet) {
+	echo, ok := p.Seg.(*ICMPEcho)
+	if !ok {
+		return
+	}
+	if !echo.Reply {
+		rep := *echo
+		rep.Reply = true
+		s.send(&Packet{Src: s.IP(), Dst: p.Src, Proto: ProtoICMP, Size: p.Size, Seg: &rep})
+		return
+	}
+	if st, live := s.pings[echo.ID]; live {
+		delete(s.pings, echo.ID)
+		st.timeout.Cancel()
+		s.Stats.Inc("icmp.replied", 1)
+		st.cb(true, s.sim.Now().Sub(echo.Sent))
+	}
+}
+
+// ListenUDP binds a datagram handler to a port.
+func (s *Stack) ListenUDP(port uint16, h UDPHandler) error {
+	if _, taken := s.udp[port]; taken {
+		return fmt.Errorf("vip: UDP port %d already bound on %s", port, s.IP())
+	}
+	s.udp[port] = h
+	return nil
+}
+
+// CloseUDP unbinds a datagram port.
+func (s *Stack) CloseUDP(port uint16) { delete(s.udp, port) }
+
+// SendUDP transmits one datagram. size is the payload size in bytes.
+func (s *Stack) SendUDP(dst IP, srcPort, dstPort uint16, size int, msg any) {
+	s.send(&Packet{
+		Src: s.IP(), Dst: dst, Proto: ProtoUDP,
+		Size: ipHdrSize + udpHdrSize + size,
+		Seg:  &UDPDatagram{SrcPort: srcPort, DstPort: dstPort, Msg: msg},
+	})
+}
+
+func (s *Stack) handleUDP(p *Packet) {
+	d, ok := p.Seg.(*UDPDatagram)
+	if !ok {
+		return
+	}
+	if h, bound := s.udp[d.DstPort]; bound {
+		h(p.Src, d.SrcPort, p.Size-ipHdrSize-udpHdrSize, d.Msg)
+	} else {
+		s.Stats.Inc("udp.unbound", 1)
+	}
+}
+
+// ephemeralPort allocates a client-side TCP port.
+func (s *Stack) ephemeralPort() uint16 {
+	for {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 32768
+		}
+		inUse := false
+		for k := range s.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}

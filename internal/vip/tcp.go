@@ -1,0 +1,737 @@
+package vip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wow/internal/sim"
+)
+
+// TCPSegment is one virtual TCP segment. Payload content is abstract: a
+// segment covers Len bytes of the stream, and chunk boundaries (Ends)
+// carry application messages that complete within the segment. Classic
+// sequence-number semantics apply, with the FIN consuming one sequence
+// number past the last payload byte.
+type TCPSegment struct {
+	SrcPort, DstPort uint16
+	Kind             string // "syn", "synack", or "" for everything else
+	Seq              int    // first payload byte offset (data/fin)
+	Len              int    // payload bytes
+	Ack              int    // cumulative acknowledgment (next expected offset)
+	HasAck           bool
+	FIN              bool
+	// Probe marks a keepalive probe, soliciting an immediate ACK.
+	Probe bool
+	Ends  []chunkEnd
+}
+
+// chunkEnd marks an application message whose last byte is stream offset
+// End-1; delivering the stream in order up to End delivers Msg.
+type chunkEnd struct {
+	End  int
+	Size int
+	Msg  any
+}
+
+type connKey struct {
+	remote     IP
+	remotePort uint16
+	localPort  uint16
+}
+
+// Conn states.
+const (
+	stateSynSent = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// ErrConnClosed is returned by Send on a closed connection.
+var ErrConnClosed = errors.New("vip: connection closed")
+
+// ErrTimeout is passed to OnClose when a connection abandons
+// retransmission (no acknowledged progress within StackConfig.GiveUp).
+var ErrTimeout = errors.New("vip: connection timed out")
+
+// ErrReset is passed to OnClose when the remote rejects the connection.
+var ErrReset = errors.New("vip: connection reset")
+
+// chunk is one queued application write.
+type chunk struct {
+	start int
+	size  int
+	msg   any
+}
+
+// Conn is a reliable byte-stream connection with message framing. Writes
+// enqueue (size, msg) chunks; the remote's OnMessage fires once the stream
+// is delivered in order through each chunk's last byte. Congestion control
+// is Reno-flavoured: slow start, AIMD, fast retransmit on triple duplicate
+// ACKs, timeout recovery with exponential backoff.
+type Conn struct {
+	stack *Stack
+	key   connKey
+	state int
+
+	// send side
+	sndQ      []chunk
+	sndTrim   int // index of first retained chunk in sndQ
+	sndBytes  int
+	sndUna    int
+	sndNxt    int
+	finSent   bool
+	closedLoc bool
+	cwnd      float64
+	ssthresh  float64
+	dupAcks   int
+
+	rto          sim.Duration
+	srtt, rttvar sim.Duration
+	hasRTT       bool
+	rtoTimer     *sim.Event
+	timing       bool
+	timedEnd     int
+	timedAt      sim.Time
+	lastProgress sim.Time
+
+	// receive side
+	rcvNxt    int
+	rcvBytes  int
+	remoteFin int // stream offset of FIN, -1 until seen
+	oo        map[int]*TCPSegment
+
+	onConnect func()
+	onMessage func(size int, msg any)
+	onClose   func(err error)
+	closedCb  bool
+
+	lastHeard sim.Time
+	kaTimer   *sim.Event
+	kaProbes  int
+
+	retransmits int
+}
+
+// ListenTCP installs an accept callback for a port. The callback fires
+// when an inbound connection completes its handshake.
+func (s *Stack) ListenTCP(port uint16, accept func(*Conn)) error {
+	if _, taken := s.listeners[port]; taken {
+		return fmt.Errorf("vip: TCP port %d already listening on %s", port, s.IP())
+	}
+	s.listeners[port] = accept
+	return nil
+}
+
+// CloseTCPListener removes a listener; established connections survive.
+func (s *Stack) CloseTCPListener(port uint16) { delete(s.listeners, port) }
+
+// DialTCP opens a connection to dst:port. Writes may be enqueued
+// immediately; they flow once the handshake completes. Connection failure
+// surfaces through OnClose.
+func (s *Stack) DialTCP(dst IP, port uint16) *Conn {
+	c := &Conn{
+		stack:     s,
+		key:       connKey{remote: dst, remotePort: port, localPort: s.ephemeralPort()},
+		state:     stateSynSent,
+		cwnd:      2,
+		ssthresh:  float64(s.cfg.Window),
+		rto:       sim.Second,
+		remoteFin: -1,
+		oo:        make(map[int]*TCPSegment),
+	}
+	c.lastProgress = s.sim.Now()
+	s.conns[c.key] = c
+	s.Stats.Inc("tcp.dialed", 1)
+	c.sendControl("syn")
+	c.armRTO()
+	return c
+}
+
+// OnConnect registers the handshake-completion callback (dialer side).
+func (c *Conn) OnConnect(f func()) { c.onConnect = f }
+
+// OnMessage registers the in-order message delivery callback.
+func (c *Conn) OnMessage(f func(size int, msg any)) { c.onMessage = f }
+
+// OnClose registers the teardown callback; err is nil for a clean remote
+// close, ErrTimeout/ErrReset otherwise.
+func (c *Conn) OnClose(f func(err error)) { c.onClose = f }
+
+// RemoteIP returns the peer's virtual address.
+func (c *Conn) RemoteIP() IP { return c.key.remote }
+
+// LocalPort returns the connection's local port.
+func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+// ReceivedBytes reports in-order payload bytes delivered — the "file size
+// on the client's local disk" axis of Figure 6.
+func (c *Conn) ReceivedBytes() int { return c.rcvBytes }
+
+// AckedBytes reports payload bytes acknowledged by the peer.
+func (c *Conn) AckedBytes() int {
+	if c.sndUna > c.sndBytes {
+		return c.sndBytes
+	}
+	return c.sndUna
+}
+
+// QueuedBytes reports payload bytes enqueued locally.
+func (c *Conn) QueuedBytes() int { return c.sndBytes }
+
+// Retransmits reports how many segments were retransmitted.
+func (c *Conn) Retransmits() int { return c.retransmits }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Closed reports whether the connection is fully torn down.
+func (c *Conn) Closed() bool { return c.state == stateClosed }
+
+// Send enqueues an application message of the given payload size.
+func (c *Conn) Send(size int, msg any) error {
+	if c.state == stateClosed || c.closedLoc {
+		return ErrConnClosed
+	}
+	if size <= 0 {
+		size = 1 // every message occupies at least one stream byte
+	}
+	c.sndQ = append(c.sndQ, chunk{start: c.sndBytes, size: size, msg: msg})
+	c.sndBytes += size
+	c.trySend()
+	return nil
+}
+
+// Close flushes queued data, then sends a FIN. OnClose fires on the peer
+// once its stream is fully delivered.
+func (c *Conn) Close() {
+	if c.state == stateClosed || c.closedLoc {
+		return
+	}
+	c.closedLoc = true
+	c.trySend()
+}
+
+// abort tears the connection down with an error.
+func (c *Conn) abort(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.state = stateClosed
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	if c.kaTimer != nil {
+		c.kaTimer.Cancel()
+	}
+	delete(c.stack.conns, c.key)
+	c.stack.Stats.Inc("tcp.aborted", 1)
+	c.fireClose(err)
+}
+
+func (c *Conn) fireClose(err error) {
+	if c.closedCb {
+		return
+	}
+	c.closedCb = true
+	if c.onClose != nil {
+		c.onClose(err)
+	}
+}
+
+// window returns the effective send window in segments.
+func (c *Conn) window() float64 {
+	w := c.cwnd
+	if max := float64(c.stack.cfg.Window); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sendControl emits a handshake segment.
+func (c *Conn) sendControl(kind string) {
+	seg := &TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Kind: kind,
+	}
+	if kind == "synack" {
+		seg.HasAck = true
+	}
+	c.emit(seg, tcpHdrSize)
+}
+
+func (c *Conn) emit(seg *TCPSegment, wire int) {
+	c.stack.send(&Packet{
+		Src: c.stack.IP(), Dst: c.key.remote, Proto: ProtoTCP,
+		Size: ipHdrSize + wire,
+		Seg:  seg,
+	})
+}
+
+// endsInRange collects chunk boundaries inside [lo, hi).
+func (c *Conn) endsInRange(lo, hi int) []chunkEnd {
+	var out []chunkEnd
+	q := c.sndQ[c.sndTrim:]
+	i := sort.Search(len(q), func(i int) bool { return q[i].start+q[i].size > lo })
+	for ; i < len(q); i++ {
+		end := q[i].start + q[i].size
+		if end > hi {
+			break
+		}
+		out = append(out, chunkEnd{End: end, Size: q[i].size, Msg: q[i].msg})
+	}
+	return out
+}
+
+// trySend transmits as much of the stream as the window allows, then the
+// FIN once everything is flushed and the connection is closing.
+func (c *Conn) trySend() {
+	if c.state != stateEstablished {
+		return
+	}
+	mss := c.stack.cfg.MSS
+	for c.sndNxt < c.sndBytes {
+		inflight := float64(c.sndNxt-c.sndUna) / float64(mss)
+		if inflight >= c.window() {
+			break
+		}
+		n := c.sndBytes - c.sndNxt
+		if n > mss {
+			n = mss
+		}
+		// Advance sndNxt before emitting: a zero-latency carrier can
+		// deliver the ACK synchronously and re-enter trySend, which
+		// must then observe consistent send state.
+		seq := c.sndNxt
+		c.sndNxt += n
+		c.sendData(seq, n)
+	}
+	if c.closedLoc && !c.finSent && c.sndNxt == c.sndBytes {
+		c.finSent = true
+		c.sendFIN()
+	}
+	c.armRTO()
+}
+
+func (c *Conn) sendData(seq, n int) {
+	seg := &TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: seq, Len: n, Ack: c.rcvNxt, HasAck: true,
+		Ends: c.endsInRange(seq, seq+n),
+	}
+	if !c.timing && seq+n == c.sndNxt {
+		// Time only first transmissions at the send frontier (Karn).
+		c.timing = true
+		c.timedEnd = seq + n
+		c.timedAt = c.stack.sim.Now()
+	}
+	c.stack.Stats.Inc("tcp.data_out", 1)
+	c.emit(seg, tcpHdrSize+n)
+}
+
+func (c *Conn) sendFIN() {
+	seg := &TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: c.sndBytes, FIN: true, Ack: c.rcvNxt, HasAck: true,
+	}
+	c.emit(seg, tcpHdrSize)
+}
+
+func (c *Conn) sendAck() {
+	seg := &TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: c.sndNxt, Ack: c.rcvNxt, HasAck: true,
+	}
+	c.emit(seg, tcpHdrSize)
+}
+
+// outstanding reports whether anything needs the retransmission timer.
+func (c *Conn) outstanding() bool {
+	switch c.state {
+	case stateSynSent, stateSynRcvd:
+		return true
+	case stateEstablished:
+		return c.sndUna < c.sndNxt || (c.finSent && c.sndUna <= c.sndBytes)
+	}
+	return false
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	if !c.outstanding() {
+		return
+	}
+	c.rtoTimer = c.stack.sim.After(c.rto, c.onTimeout)
+}
+
+// onTimeout retransmits the earliest outstanding item with exponential
+// backoff, shrinking the congestion window to one segment (Tahoe-style
+// timeout recovery). Connections abandon after GiveUp without progress —
+// long enough to sit out a VM migration.
+func (c *Conn) onTimeout() {
+	if c.state == stateClosed {
+		return
+	}
+	s := c.stack
+	if s.sim.Now().Sub(c.lastProgress) > s.cfg.GiveUp {
+		c.abort(ErrTimeout)
+		return
+	}
+	c.retransmits++
+	s.Stats.Inc("tcp.rto", 1)
+	c.timing = false
+	switch c.state {
+	case stateSynSent:
+		c.sendControl("syn")
+	case stateSynRcvd:
+		c.sendControl("synack")
+	case stateEstablished:
+		inflightSegs := float64(c.sndNxt-c.sndUna) / float64(s.cfg.MSS)
+		c.ssthresh = inflightSegs / 2
+		if c.ssthresh < 2 {
+			c.ssthresh = 2
+		}
+		c.cwnd = 1
+		c.dupAcks = 0
+		if c.sndUna < c.sndNxt {
+			// Go-back-N: everything past sndUna is presumed lost
+			// (e.g. the whole window dropped during a migration
+			// outage); slow start re-sends it as ACKs re-clock.
+			c.sndNxt = c.sndUna
+			if c.finSent {
+				c.finSent = false // re-send FIN after the data
+			}
+			n := c.sndBytes - c.sndUna
+			if n > s.cfg.MSS {
+				n = s.cfg.MSS
+			}
+			if n > 0 {
+				seq := c.sndNxt
+				c.sndNxt += n
+				c.sendData(seq, n)
+			}
+		} else if c.finSent {
+			c.sendFIN()
+		}
+	}
+	c.rto *= 2
+	if c.rto > s.cfg.MaxRTO {
+		c.rto = s.cfg.MaxRTO
+	}
+	c.armRTO()
+}
+
+// updateRTT folds an RTT sample into srtt/rttvar (RFC 6298 constants).
+func (c *Conn) updateRTT(sample sim.Duration) {
+	if !c.hasRTT {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.hasRTT = true
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.baseRTO()
+}
+
+// baseRTO computes the un-backed-off retransmission timeout from the
+// smoothed RTT estimate, clamped to the configured bounds.
+func (c *Conn) baseRTO() sim.Duration {
+	if !c.hasRTT {
+		return sim.Second
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.stack.cfg.MinRTO {
+		rto = c.stack.cfg.MinRTO
+	}
+	if rto > c.stack.cfg.MaxRTO {
+		rto = c.stack.cfg.MaxRTO
+	}
+	return rto
+}
+
+// handleTCP dispatches an inbound segment to its connection, creating one
+// on SYN to a listening port.
+func (s *Stack) handleTCP(p *Packet) {
+	seg, ok := p.Seg.(*TCPSegment)
+	if !ok {
+		return
+	}
+	key := connKey{remote: p.Src, remotePort: seg.SrcPort, localPort: seg.DstPort}
+	c, exists := s.conns[key]
+	if !exists {
+		if seg.Kind == "syn" {
+			if _, listening := s.listeners[seg.DstPort]; listening {
+				c = &Conn{
+					stack:     s,
+					key:       key,
+					state:     stateSynRcvd,
+					cwnd:      2,
+					ssthresh:  float64(s.cfg.Window),
+					rto:       sim.Second,
+					remoteFin: -1,
+					oo:        make(map[int]*TCPSegment),
+				}
+				c.lastProgress = s.sim.Now()
+				s.conns[key] = c
+				s.Stats.Inc("tcp.accepted", 1)
+				c.sendControl("synack")
+				c.armRTO()
+				return
+			}
+		}
+		s.Stats.Inc("tcp.no_conn", 1)
+		return
+	}
+	c.handleSegment(seg)
+}
+
+func (c *Conn) handleSegment(seg *TCPSegment) {
+	s := c.stack
+	switch c.state {
+	case stateSynSent:
+		if seg.Kind == "synack" {
+			c.establish()
+			c.sendAck()
+		}
+		return
+	case stateSynRcvd:
+		if seg.Kind == "syn" {
+			c.sendControl("synack") // duplicate SYN: our SYNACK was lost
+			return
+		}
+		if seg.HasAck || seg.Len > 0 {
+			c.establish()
+			if cb, ok := s.listeners[c.key.localPort]; ok {
+				cb(c)
+			}
+			// fall through to process the segment's contents
+		} else {
+			return
+		}
+	case stateClosed:
+		return
+	}
+
+	c.lastHeard = s.sim.Now()
+	c.kaProbes = 0
+
+	if seg.Probe {
+		// Keepalive probe: acknowledge immediately.
+		c.sendAck()
+	}
+
+	progressed := false
+
+	// --- acknowledgment processing ---
+	if seg.HasAck {
+		finSeq := c.sndBytes
+		switch {
+		case seg.Ack > c.sndUna:
+			ackedSegs := float64(seg.Ack-c.sndUna) / float64(s.cfg.MSS)
+			c.sndUna = seg.Ack
+			if c.sndNxt < c.sndUna {
+				c.sndNxt = c.sndUna
+			}
+			c.dupAcks = 0
+			progressed = true
+			// New data acknowledged: collapse any exponential
+			// backoff back to the RTT-derived timeout (RFC 6298
+			// §5.7), so recovery after an outage re-clocks at
+			// RTT pace rather than at the backed-off ceiling.
+			c.rto = c.baseRTO()
+			if c.timing && seg.Ack >= c.timedEnd {
+				c.updateRTT(s.sim.Now().Sub(c.timedAt))
+				c.timing = false
+			}
+			if c.cwnd < c.ssthresh {
+				c.cwnd += ackedSegs // slow start
+			} else {
+				c.cwnd += ackedSegs / c.cwnd // congestion avoidance
+			}
+			if c.cwnd > float64(s.cfg.Window) {
+				c.cwnd = float64(s.cfg.Window)
+			}
+			c.trimAcked()
+		case seg.Ack == c.sndUna && c.sndNxt > c.sndUna && seg.Len == 0 && !seg.FIN:
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				// Fast retransmit (Reno).
+				s.Stats.Inc("tcp.fast_retransmit", 1)
+				c.retransmits++
+				inflightSegs := float64(c.sndNxt-c.sndUna) / float64(s.cfg.MSS)
+				c.ssthresh = inflightSegs / 2
+				if c.ssthresh < 2 {
+					c.ssthresh = 2
+				}
+				c.cwnd = c.ssthresh
+				c.timing = false
+				n := c.sndNxt - c.sndUna
+				if n > s.cfg.MSS {
+					n = s.cfg.MSS
+				}
+				c.sendData(c.sndUna, n)
+			}
+		}
+		if c.finSent && c.sndUna >= finSeq+1 {
+			// Our FIN is acknowledged; if the remote's stream is
+			// also done, tear down.
+			c.maybeFinish()
+		}
+	}
+
+	// --- payload / FIN processing ---
+	if seg.Len > 0 || seg.FIN {
+		c.receiveData(seg)
+	}
+
+	if progressed {
+		c.lastProgress = s.sim.Now()
+		c.trySend()
+	}
+	c.armRTO()
+}
+
+func (c *Conn) establish() {
+	c.state = stateEstablished
+	c.lastProgress = c.stack.sim.Now()
+	c.lastHeard = c.stack.sim.Now()
+	c.armKeepAlive()
+	if c.onConnect != nil {
+		c.onConnect()
+	}
+	c.trySend()
+}
+
+// armKeepAlive schedules the next idle check. Keepalive emulates the
+// kernel behaviour that let the paper's long-lived NFS/PBS sessions ride
+// out multi-minute migration outages yet eventually clears connections to
+// crashed peers.
+func (c *Conn) armKeepAlive() {
+	idle := c.stack.cfg.KeepAliveIdle
+	if idle < 0 || c.state != stateEstablished {
+		return
+	}
+	if c.kaTimer != nil {
+		c.kaTimer.Cancel()
+	}
+	c.kaTimer = c.stack.sim.After(idle, c.keepAliveCheck)
+}
+
+func (c *Conn) keepAliveCheck() {
+	if c.state != stateEstablished {
+		return
+	}
+	s := c.stack
+	idle := s.sim.Now().Sub(c.lastHeard)
+	if idle < s.cfg.KeepAliveIdle {
+		// Traffic arrived since; re-check when the idle window would
+		// next elapse.
+		c.kaTimer = s.sim.After(s.cfg.KeepAliveIdle-idle, c.keepAliveCheck)
+		return
+	}
+	if c.kaProbes >= s.cfg.KeepAliveProbes {
+		c.abort(ErrTimeout)
+		return
+	}
+	c.kaProbes++
+	s.Stats.Inc("tcp.keepalive_probe", 1)
+	c.emit(&TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: c.sndNxt, Ack: c.rcvNxt, HasAck: true, Probe: true,
+	}, tcpHdrSize)
+	c.kaTimer = s.sim.After(75*sim.Second, c.keepAliveCheck)
+}
+
+// trimAcked drops fully acknowledged chunks from the front of the send
+// queue; their bytes can never be retransmitted again.
+func (c *Conn) trimAcked() {
+	q := c.sndQ
+	for c.sndTrim < len(q) && q[c.sndTrim].start+q[c.sndTrim].size <= c.sndUna {
+		c.sndTrim++
+	}
+	if c.sndTrim > 4096 {
+		c.sndQ = append([]chunk(nil), q[c.sndTrim:]...)
+		c.sndTrim = 0
+	}
+}
+
+// receiveData accepts in-order payload, buffers out-of-order segments and
+// acknowledges every arrival (duplicate ACKs drive the sender's fast
+// retransmit).
+func (c *Conn) receiveData(seg *TCPSegment) {
+	if seg.FIN && c.remoteFin < 0 {
+		c.remoteFin = seg.Seq
+	}
+	switch {
+	case seg.Len > 0 && seg.Seq == c.rcvNxt:
+		c.acceptSegment(seg)
+		// Drain contiguous out-of-order segments.
+		for {
+			next, ok := c.oo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.oo, c.rcvNxt)
+			c.acceptSegment(next)
+		}
+	case seg.Len > 0 && seg.Seq > c.rcvNxt:
+		c.oo[seg.Seq] = seg
+		c.stack.Stats.Inc("tcp.out_of_order", 1)
+	}
+	if c.remoteFin >= 0 && c.rcvNxt == c.remoteFin {
+		c.rcvNxt = c.remoteFin + 1 // consume the FIN
+	}
+	c.sendAck()
+	c.maybeFinish()
+}
+
+func (c *Conn) acceptSegment(seg *TCPSegment) {
+	c.rcvNxt = seg.Seq + seg.Len
+	c.rcvBytes += seg.Len
+	c.lastProgress = c.stack.sim.Now()
+	for _, e := range seg.Ends {
+		if c.onMessage != nil {
+			c.onMessage(e.Size, e.Msg)
+		}
+	}
+}
+
+// maybeFinish completes teardown once both directions are done: the
+// remote's FIN consumed, and (if we closed) our FIN acknowledged.
+func (c *Conn) maybeFinish() {
+	remoteDone := c.remoteFin >= 0 && c.rcvNxt == c.remoteFin+1
+	if !remoteDone {
+		return
+	}
+	if !c.closedLoc {
+		// Remote closed first: flush our side and close too.
+		c.Close()
+		c.fireClose(nil)
+		return
+	}
+	localDone := c.finSent && c.sndUna >= c.sndBytes+1
+	if localDone && c.state != stateClosed {
+		c.state = stateClosed
+		if c.rtoTimer != nil {
+			c.rtoTimer.Cancel()
+		}
+		if c.kaTimer != nil {
+			c.kaTimer.Cancel()
+		}
+		delete(c.stack.conns, c.key)
+		c.stack.Stats.Inc("tcp.closed", 1)
+		c.fireClose(nil)
+	}
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"wow/internal/sim"
+	"wow/internal/vip"
+	"wow/internal/vip/viptest"
+)
+
+func TestDefaultMEMEShape(t *testing.T) {
+	c := DefaultMEME()
+	if c.BaseCPU != 20*sim.Second || c.InputBytes == 0 || c.OutputBytes == 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var total float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		j := c.Job(i, rng)
+		if j.ID != i || j.InputPath != c.InputPath || j.OutputBytes != c.OutputBytes {
+			t.Fatalf("job %d malformed: %+v", i, j)
+		}
+		if j.CPU < c.BaseCPU/2 {
+			t.Fatalf("job %d CPU %v below clamp", i, j.CPU)
+		}
+		total += j.CPU.Seconds()
+	}
+	mean := total / n
+	if mean < 19.5 || mean > 20.5 {
+		t.Fatalf("mean job CPU %.2fs, want ~20s", mean)
+	}
+}
+
+func TestMEMEJobsHaveUniqueOutputs(t *testing.T) {
+	c := DefaultMEME()
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		p := c.Job(i, rng).OutputPath
+		if seen[p] {
+			t.Fatalf("duplicate output path %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFastDNAmlRoundsStructure(t *testing.T) {
+	c := DefaultFastDNAml()
+	rounds := c.Rounds()
+	// Taxa 4..50 inclusive: 47 rounds with 2i-5 tasks each.
+	if len(rounds) != 47 {
+		t.Fatalf("rounds = %d, want 47", len(rounds))
+	}
+	if len(rounds[0]) != 3 || len(rounds[46]) != 95 {
+		t.Fatalf("round sizes: first=%d last=%d, want 3 and 95", len(rounds[0]), len(rounds[46]))
+	}
+	total := 0
+	ids := map[int]bool{}
+	for _, r := range rounds {
+		for _, task := range r {
+			total++
+			if ids[task.ID] {
+				t.Fatalf("duplicate task id %d", task.ID)
+			}
+			ids[task.ID] = true
+			if task.CPU <= 0 || task.SendBytes == 0 {
+				t.Fatalf("malformed task %+v", task)
+			}
+		}
+	}
+	// Total CPU ≈ SeqCPU (per-task jitter averages out).
+	seq := c.SequentialCPU().Seconds()
+	if ratio := seq / c.SeqCPU.Seconds(); ratio < 0.97 || ratio > 1.03 {
+		t.Fatalf("sequential CPU off by %.1f%%", (ratio-1)*100)
+	}
+	_ = total
+}
+
+func TestTaskCostFactorBounds(t *testing.T) {
+	for id := 0; id < 5000; id++ {
+		f := taskCostFactor(id)
+		if f < 0.75 || f > 1.25 {
+			t.Fatalf("factor(%d) = %v", id, f)
+		}
+	}
+	if taskCostFactor(1) != taskCostFactor(1) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestTTCPResultBandwidth(t *testing.T) {
+	r := TTCPResult{Bytes: 1024 * 100, Elapsed: 2 * sim.Second}
+	if bw := r.BandwidthKBs(); bw != 50 {
+		t.Fatalf("bandwidth = %v, want 50 KB/s", bw)
+	}
+	if (TTCPResult{}).BandwidthKBs() != 0 {
+		t.Fatal("zero elapsed should give 0")
+	}
+}
+
+func TestTTCPTransferOverMesh(t *testing.T) {
+	s := sim.New(1)
+	m := viptest.NewMesh(s, 10*sim.Millisecond)
+	src := m.AddStack(vip.MustParseIP("172.16.1.2"), vip.StackConfig{})
+	dst := m.AddStack(vip.MustParseIP("172.16.1.3"), vip.StackConfig{})
+	if err := TTCPServe(dst); err != nil {
+		t.Fatal(err)
+	}
+	var res TTCPResult
+	done := false
+	TTCP(src, dst.IP(), 4<<20, func(r TTCPResult) { res, done = r, true })
+	s.RunFor(5 * sim.Minute)
+	if !done || !res.Completed {
+		t.Fatalf("ttcp incomplete: %+v", res)
+	}
+	if res.Bytes != 4<<20 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	// Window-limited: ~40 segs × 1400 / 20ms RTT ≈ 2.7 MB/s.
+	if bw := res.BandwidthKBs(); bw < 1000 || bw > 4000 {
+		t.Fatalf("bandwidth %.0f KB/s outside window-limited range", bw)
+	}
+}
