@@ -69,11 +69,14 @@ func BenchmarkFig5Regimes(b *testing.B) {
 // virtual time); bandwidth is size-independent once the window fills.
 func BenchmarkTable2Bandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTable2(experiments.Table2Opts{
+		res, err := experiments.RunTable2(experiments.Table2Opts{
 			Seed:    int64(i + 1),
 			Sizes:   []int64{16 << 20, 8 << 20},
 			Repeats: 2,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, cell := range res.Cells {
 			name := cell.Scenario
 			if cell.Shortcuts {
@@ -94,7 +97,10 @@ func BenchmarkTable2Bandwidth(b *testing.B) {
 // resumes without an application restart.
 func BenchmarkFig6ScpMigration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig6(experiments.Fig6Opts{Seed: int64(i + 1)})
+		res, err := experiments.RunFig6(experiments.Fig6Opts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.Completed {
 			b.Fatal("transfer did not survive migration")
 		}
@@ -112,7 +118,10 @@ func BenchmarkFig6ScpMigration(b *testing.B) {
 // late and subsequent jobs run faster on the unloaded destination.
 func BenchmarkFig7PbsMigration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig7(experiments.Fig7Opts{Seed: int64(i + 1), Jobs: 110})
+		res, err := experiments.RunFig7(experiments.Fig7Opts{Seed: int64(i + 1), Jobs: 110})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.AllSucceeded {
 			b.Fatal("a job failed across migration")
 		}
@@ -137,9 +146,12 @@ func BenchmarkFig8MemeHistogram(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := experiments.RunFig8(experiments.Fig8Opts{
+				res, err := experiments.RunFig8(experiments.Fig8Opts{
 					Seed: int64(i + 1), Jobs: 600, Shortcuts: shortcuts,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if res.Failed > 0 {
 					b.Fatalf("%d jobs failed", res.Failed)
 				}
@@ -158,7 +170,10 @@ func BenchmarkFig8MemeHistogram(b *testing.B) {
 // PVM-parallel fastDNAml with the paper's full 50-taxa workload.
 func BenchmarkTable3FastDNAml(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTable3(experiments.Table3Opts{Seed: int64(i + 1)})
+		res, err := experiments.RunTable3(experiments.Table3Opts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.SeqNode002, "seq-node002-s")
 		b.ReportMetric(res.Speedup(res.Par15Shortcut), "speedup-15")
 		b.ReportMetric(res.Speedup(res.Par30NoShortcut), "speedup-30-nosc")
@@ -173,7 +188,10 @@ func BenchmarkTable3FastDNAml(b *testing.B) {
 // killing and restarting the IPOP process on a ~150-node overlay.
 func BenchmarkMigrationOutage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunOutage(experiments.OutageOpts{Seed: int64(i + 1), Trials: 3})
+		res, err := experiments.RunOutage(experiments.OutageOpts{Seed: int64(i + 1), Trials: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.Summary.Mean, "outage-s")
 		if i == 0 {
 			b.Log("\n" + res.String())
@@ -254,7 +272,10 @@ func BenchmarkAblationRingSize(b *testing.B) {
 // connectivity autonomously.
 func BenchmarkNATRebind(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunNATRebind(int64(i+1), 2)
+		res, err := experiments.RunNATRebind(int64(i+1), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.Recovered {
 			b.Fatal("did not recover")
 		}
@@ -289,7 +310,10 @@ func BenchmarkChurn(b *testing.B) {
 // migration under an active SCP transfer.
 func BenchmarkLiveMigration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunLiveMigration(int64(i + 1))
+		res, err := experiments.RunLiveMigration(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.BothCompleted {
 			b.Fatal("a transfer failed")
 		}
@@ -301,11 +325,71 @@ func BenchmarkLiveMigration(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionHeal measures overlay re-merge after a WAN partition
+// severs the Northwestern site plus half the PlanetLab hosts long enough
+// for every cross-side link to die.
+func BenchmarkPartitionHeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPartitionHeal(experiments.PartitionHealOpts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Healed {
+			b.Fatal("overlay did not re-merge after the partition healed")
+		}
+		b.ReportMetric(res.Report.RecoverySec, "remerge-s")
+		b.ReportMetric(float64(res.Report.Counters.Get("relink.success")), "relinks")
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// BenchmarkGracefulMigration compares the overlay ring-repair window of
+// the paper's cold IPOP kill against a graceful leave with ring handoff.
+func BenchmarkGracefulMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMigrationOutage(experiments.MigrationOutageOpts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GracefulWindowSec < 0 || res.BaselineWindowSec < 0 {
+			b.Fatal("ring never closed before the node returned")
+		}
+		b.ReportMetric(res.BaselineWindowSec, "cold-window-s")
+		b.ReportMetric(res.GracefulWindowSec, "graceful-window-s")
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+// BenchmarkCorrelatedChurn measures recovery from an overlapping
+// kill+restart wave rolling across a quarter of the routers.
+func BenchmarkCorrelatedChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCorrelatedChurn(experiments.ChurnWaveOpts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Healed {
+			b.Fatal("overlay did not heal after the churn wave")
+		}
+		b.ReportMetric(res.Report.RecoverySec, "heal-s")
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
 // BenchmarkSchedulerComparison contrasts PBS push scheduling with
 // Condor-style matchmaking on the same MEME stream.
 func BenchmarkSchedulerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSchedulerComparison(int64(i+1), 300)
+		res, err := experiments.RunSchedulerComparison(int64(i+1), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.PBSJobsPerMinute, "pbs-jobs/min")
 		b.ReportMetric(res.CondorJobsPerMinute, "condor-jobs/min")
 		b.ReportMetric(res.CondorMatchLatency, "condor-match-s")
@@ -320,7 +404,10 @@ func BenchmarkSchedulerComparison(b *testing.B) {
 // sites, leaving those pairs on slow multi-hop stream chains.
 func BenchmarkAblationTransport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTransportAblation(experiments.AblationOpts{Seed: int64(i + 1)})
+		res, err := experiments.RunTransportAblation(experiments.AblationOpts{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.JoinUDP, "join-udp-s")
 		b.ReportMetric(res.JoinTCP, "join-tcp-s")
 		b.ReportMetric(res.BandwidthUDP, "bw-udp-KB/s")

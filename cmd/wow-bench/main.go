@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,schedulers")
+	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
@@ -46,9 +46,20 @@ func main() {
 		*jobs = 4000
 	}
 
+	known := map[string]bool{
+		"all": true, "join": true, "fig4": true, "fig5": true,
+		"table2": true, "fig6": true, "fig7": true, "fig8": true,
+		"table3": true, "outage": true, "virt": true, "ablations": true,
+		"resilience": true, "faults": true, "schedulers": true,
+	}
 	want := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(s)] = true
+		name := strings.TrimSpace(s)
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "wow-bench: unknown experiment %q (see -run in -help)\n", name)
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	section := func(name, title string) bool {
@@ -62,6 +73,17 @@ func main() {
 		start := time.Now()
 		f()
 		fmt.Printf("(wall %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	exitCode := 0
+	// show prints an experiment result, or reports its error and marks
+	// the run failed without aborting the remaining experiments.
+	show := func(v fmt.Stringer, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wow-bench: %v\n", err)
+			exitCode = 1
+			return
+		}
+		fmt.Println(v.String())
 	}
 
 	if section("join", "Join latency (abstract claim)") {
@@ -91,36 +113,38 @@ func main() {
 	}
 	if section("table2", "Table II: ttcp bandwidth") {
 		timed(func() {
-			fmt.Println(experiments.RunTable2(experiments.Table2Opts{Seed: *seed}).String())
+			show(experiments.RunTable2(experiments.Table2Opts{Seed: *seed}))
 		})
 	}
 	if section("fig6", "Figure 6: SCP transfer across server migration") {
 		timed(func() {
-			res := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
-			fmt.Println(res.String())
-			writeCSV("fig6-progress.csv", res.Progress.CSV())
+			res, err := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
+			show(res, err)
+			if err == nil {
+				writeCSV("fig6-progress.csv", res.Progress.CSV())
+			}
 		})
 	}
 	if section("fig7", "Figure 7: PBS job stream across worker migration") {
 		timed(func() {
-			fmt.Println(experiments.RunFig7(experiments.Fig7Opts{Seed: *seed}).String())
+			show(experiments.RunFig7(experiments.Fig7Opts{Seed: *seed}))
 		})
 	}
 	if section("fig8", "Figure 8 / §V-D1: MEME batch throughput") {
 		timed(func() {
 			for _, sc := range []bool{true, false} {
-				fmt.Println(experiments.RunFig8(experiments.Fig8Opts{Seed: *seed, Jobs: *jobs, Shortcuts: sc}).String())
+				show(experiments.RunFig8(experiments.Fig8Opts{Seed: *seed, Jobs: *jobs, Shortcuts: sc}))
 			}
 		})
 	}
 	if section("table3", "Table III: fastDNAml-PVM") {
 		timed(func() {
-			fmt.Println(experiments.RunTable3(experiments.Table3Opts{Seed: *seed}).String())
+			show(experiments.RunTable3(experiments.Table3Opts{Seed: *seed}))
 		})
 	}
 	if section("outage", "§V-C: IPOP kill/restart no-routability window") {
 		timed(func() {
-			fmt.Println(experiments.RunOutage(experiments.OutageOpts{Seed: *seed}).String())
+			show(experiments.RunOutage(experiments.OutageOpts{Seed: *seed}))
 		})
 	}
 	if section("virt", "§V-D1: virtualization overhead") {
@@ -130,14 +154,21 @@ func main() {
 	}
 	if section("resilience", "Resilience: NAT rebinding, churn, live migration") {
 		timed(func() {
-			fmt.Println(experiments.RunNATRebind(*seed, 3).String())
+			show(experiments.RunNATRebind(*seed, 3))
 			fmt.Println(experiments.RunChurn(*seed, 0.25).String())
-			fmt.Println(experiments.RunLiveMigration(*seed).String())
+			show(experiments.RunLiveMigration(*seed))
+		})
+	}
+	if section("faults", "Fault injection: migration window, partition repair, correlated churn") {
+		timed(func() {
+			show(experiments.RunMigrationOutage(experiments.MigrationOutageOpts{Seed: *seed}))
+			show(experiments.RunPartitionHeal(experiments.PartitionHealOpts{Seed: *seed}))
+			show(experiments.RunCorrelatedChurn(experiments.ChurnWaveOpts{Seed: *seed}))
 		})
 	}
 	if section("schedulers", "Middleware comparison: PBS vs Condor") {
 		timed(func() {
-			fmt.Println(experiments.RunSchedulerComparison(*seed, *jobs/2).String())
+			show(experiments.RunSchedulerComparison(*seed, *jobs/2))
 		})
 	}
 	if section("ablations", "Design ablations") {
@@ -147,7 +178,8 @@ func main() {
 			fmt.Println(experiments.RunThresholdAblation(ao, nil).String())
 			fmt.Println(experiments.RunURIOrderAblation(ao, 5).String())
 			fmt.Println(experiments.RunRingSizeAblation(ao, nil, 5).String())
-			fmt.Println(experiments.RunTransportAblation(ao).String())
+			show(experiments.RunTransportAblation(ao))
 		})
 	}
+	os.Exit(exitCode)
 }

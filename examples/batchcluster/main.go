@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"wow/internal/experiments"
 )
@@ -28,11 +29,15 @@ func main() {
 	}
 	var results []*experiments.Fig8Result
 	for _, shortcuts := range modes {
-		r := experiments.RunFig8(experiments.Fig8Opts{
+		r, err := experiments.RunFig8(experiments.Fig8Opts{
 			Seed:      *seed,
 			Jobs:      *jobs,
 			Shortcuts: shortcuts,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batchcluster: %v\n", err)
+			os.Exit(1)
+		}
 		results = append(results, r)
 		fmt.Println(r.String())
 	}

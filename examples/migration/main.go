@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"wow/internal/experiments"
 	"wow/internal/sim"
@@ -21,7 +22,11 @@ func main() {
 	flag.Parse()
 
 	fmt.Println("=== SCP transfer across server migration (Figure 6) ===")
-	f6 := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
+	f6, err := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migration: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println(f6.String())
 
 	// Print the transfer curve every ~60 s of virtual time.
@@ -33,7 +38,11 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("=== PBS job stream across worker migration (Figure 7) ===")
-	f7 := experiments.RunFig7(experiments.Fig7Opts{Seed: *seed, Jobs: 110})
+	f7, err := experiments.RunFig7(experiments.Fig7Opts{Seed: *seed, Jobs: 110})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migration: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println(f7.String())
 	fmt.Println("  per-job wall times (every 8th job):")
 	for i, p := range f7.Points {

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"wow/internal/experiments"
 	"wow/internal/sim"
@@ -29,7 +30,11 @@ func main() {
 		fmt.Println("and parallel efficiency drops well below the paper's; use -scale 1 for Table III.")
 		fmt.Println()
 	}
-	r := experiments.RunTable3(experiments.Table3Opts{Seed: *seed, Workload: wl})
+	r, err := experiments.RunTable3(experiments.Table3Opts{Seed: *seed, Workload: wl})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parallel: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println(r.String())
 }
 

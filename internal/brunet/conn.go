@@ -33,6 +33,10 @@ type Connection struct {
 	pingRetry int
 	awaiting  uint64 // outstanding ping seq; 0 = none
 	closed    bool
+	// dropReason records why dropConnection tore the connection down
+	// ("timeout", "leave", …), readable by OnDisconnection callbacks —
+	// the repair overlord re-links only involuntary losses.
+	dropReason string
 }
 
 // Has reports whether the connection serves the given role.
@@ -153,6 +157,7 @@ func (n *Node) dropConnection(c *Connection, sendClose bool, reason string) {
 		return
 	}
 	c.closed = true
+	c.dropReason = reason
 	if c.pingTimer != nil {
 		c.pingTimer.Cancel()
 	}
@@ -241,6 +246,7 @@ func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
 		if c.pingRetry >= n.cfg.PingRetries {
 			n.Stats.Inc("ping.dead", 1)
 			n.dropConnection(c, false, "timeout")
+			n.forwardClose(c.Peer)
 			return
 		}
 		c.pingRetry++
@@ -250,6 +256,51 @@ func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
 		n.Stats.Inc("ping.resent", 1)
 		n.armPingTimeout(c, wait*2)
 	})
+}
+
+// fastProbe pings a suspect connection immediately with a reduced retry
+// budget (Config.SuspectRetries) — the fast-detection path taken when a
+// neighbor forwards a death verdict. A live peer answers and the probe
+// costs one ping; a dead one is declared in roughly
+// PingTimeout·(2^(SuspectRetries+1)−1) instead of waiting out the full
+// PingInterval + PingTimeout·(2^(PingRetries+1)−1) keepalive cycle.
+func (n *Node) fastProbe(c *Connection) {
+	if c.closed || !n.up || c.awaiting != 0 {
+		return // dead already, or a ping round is in flight
+	}
+	if c.pingTimer != nil {
+		c.pingTimer.Cancel()
+	}
+	c.pingRetry = n.cfg.PingRetries - n.cfg.SuspectRetries
+	if c.pingRetry < 0 {
+		c.pingRetry = 0
+	}
+	n.pingSeq++
+	c.awaiting = n.pingSeq
+	n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
+	n.Stats.Inc("ping.fast_probe", 1)
+	n.armPingTimeout(c, n.cfg.PingTimeout)
+}
+
+// forwardClose tells structured neighbors that the link to dead just timed
+// out here, so peers that also hold one probe it immediately instead of
+// each independently burning its own keepalive cycle (close-forwarding,
+// the fast-failure-detection half of ring repair).
+func (n *Node) forwardClose(dead Addr) {
+	if !n.up {
+		return
+	}
+	msg := suspectMsg{From: n.addr, Dead: dead}
+	// Connections() iterates in address order: forwarding in map order
+	// would reshuffle the event sequence (and the substrate's RNG draws)
+	// from run to run, breaking deterministic replay of fault scenarios.
+	for _, c := range n.Connections() {
+		if !c.structured() || c.closed {
+			continue
+		}
+		n.sendConn(c, pingMsgSize, msg)
+		n.Stats.Inc("close.forwarded", 1)
+	}
 }
 
 // nearestConn returns the structured connection whose peer is closest to

@@ -160,6 +160,9 @@ func (lk *linker) finish(ok bool) {
 	delete(lk.node.linkers, lk.target)
 	if ok {
 		lk.node.Stats.Inc("link.success", 1)
+		// A fresh link clears any busy-race escalation toward this
+		// peer; the next race starts from the base backoff again.
+		delete(lk.node.busyRetry, lk.target)
 	}
 }
 

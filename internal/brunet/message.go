@@ -98,6 +98,26 @@ type closeMsg struct {
 	From Addr
 }
 
+// leaveMsg announces a graceful departure to a structured-near neighbor.
+// Besides acting as a close, it hands off the departing node's view of the
+// ring: Neighbors carries the other near neighbors (with URIs) so the
+// receiver can link straight to its new ring neighbor instead of waiting
+// for status gossip — planned departures skip the ping-timeout path
+// entirely (the §V-C migration window).
+type leaveMsg struct {
+	From      Addr
+	Neighbors []NeighborInfo
+}
+
+// suspectMsg forwards a death verdict: the sender timed out its link to
+// Dead, and tells peers that may also hold one to probe it immediately
+// with a reduced retry budget (fast failure detection) instead of each
+// independently burning the full keepalive cycle.
+type suspectMsg struct {
+	From Addr
+	Dead Addr
+}
+
 // statusMsg is exchanged over structured near connections, advertising a
 // node's current ring neighborhood so peers can discover closer neighbors
 // (ring repair and convergence).

@@ -8,10 +8,18 @@ import (
 	"wow/internal/sim"
 )
 
+// UseZero is the explicit-zero sentinel for Config's numeric fields. A
+// zero-valued field selects its paper default, so a literal zero (for
+// example PingRetries = 0, "declare dead after one unanswered ping", or
+// FarCount = 0, "no far connections") must be requested by assigning
+// UseZero instead. fillDefaults normalizes the sentinel back to zero.
+const UseZero = -1
+
 // Config carries a node's protocol constants. Zero values select the
 // paper-faithful defaults (DefaultConfig), which are deliberately
 // conservative — the paper tuned Brunet for heavily loaded PlanetLab hosts
-// and accepts ~150s to abandon a dead URI (§IV-D footnote 2).
+// and accepts ~150s to abandon a dead URI (§IV-D footnote 2). Assign
+// UseZero to a numeric field to configure a literal zero.
 type Config struct {
 	// Port is the UDP port to bind; 0 picks an ephemeral port.
 	Port uint16
@@ -41,6 +49,24 @@ type Config struct {
 	StatusInterval sim.Duration
 	// FarInterval paces the far-connection overlord's top-up checks.
 	FarInterval sim.Duration
+
+	// SuspectRetries is the ping-retry budget left after a dead-link
+	// notification (close-forwarding): when a neighbor reports a peer's
+	// link dead, the node probes the peer immediately and declares it
+	// dead after SuspectRetries unanswered resends — fast failure
+	// detection instead of waiting out the full
+	// PingInterval + PingTimeout·(2^(PingRetries+1)−1) cycle.
+	SuspectRetries int
+
+	// RelinkBase and RelinkRetries drive connection-table repair: a
+	// structured peer lost involuntarily (ping timeout, stream death) is
+	// remembered and re-linked with jittered exponential backoff
+	// (RelinkBase·2^attempt + U[0, RelinkBase)) for up to RelinkRetries
+	// attempts — so a healed partition re-merges without waiting for
+	// bootstrap or gossip rounds, and without a reconnection stampede.
+	// RelinkRetries = UseZero disables repair.
+	RelinkBase    sim.Duration
+	RelinkRetries int
 
 	// PrivateFirst flips the linking protocol's URI trial order to try
 	// private endpoints before NAT-learned ones; an ablation knob for
@@ -88,6 +114,9 @@ func DefaultConfig() Config {
 		LinkRetries:    4, // 5+10+20+40+80 ≈ 155s per dead URI, as in §V-B
 		StatusInterval: 15 * sim.Second,
 		FarInterval:    30 * sim.Second,
+		SuspectRetries: 1,
+		RelinkBase:     10 * sim.Second,
+		RelinkRetries:  5,
 		Shortcut:       DefaultShortcutConfig(),
 	}
 }
@@ -116,44 +145,38 @@ func FastTestConfig() Config {
 	c.LinkRetries = 3
 	c.StatusInterval = 2 * sim.Second
 	c.FarInterval = 3 * sim.Second
+	c.RelinkBase = sim.Second
 	return c
+}
+
+// defaulted resolves one numeric Config field: zero means "unset, take the
+// default", the UseZero sentinel (any negative) means a literal zero.
+func defaulted[T int | float64 | sim.Duration](v, def T) T {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 func (c *Config) fillDefaults() {
 	d := DefaultConfig()
-	if c.NearPerSide == 0 {
-		c.NearPerSide = d.NearPerSide
-	}
-	if c.FarCount == 0 {
-		c.FarCount = d.FarCount
-	}
-	if c.MaxHops == 0 {
-		c.MaxHops = d.MaxHops
-	}
-	if c.PingInterval == 0 {
-		c.PingInterval = d.PingInterval
-	}
-	if c.PingTimeout == 0 {
-		c.PingTimeout = d.PingTimeout
-	}
-	if c.PingRetries == 0 {
-		c.PingRetries = d.PingRetries
-	}
-	if c.LinkResend == 0 {
-		c.LinkResend = d.LinkResend
-	}
-	if c.LinkBackoff == 0 {
-		c.LinkBackoff = d.LinkBackoff
-	}
-	if c.LinkRetries == 0 {
-		c.LinkRetries = d.LinkRetries
-	}
-	if c.StatusInterval == 0 {
-		c.StatusInterval = d.StatusInterval
-	}
-	if c.FarInterval == 0 {
-		c.FarInterval = d.FarInterval
-	}
+	c.NearPerSide = defaulted(c.NearPerSide, d.NearPerSide)
+	c.FarCount = defaulted(c.FarCount, d.FarCount)
+	c.MaxHops = defaulted(c.MaxHops, d.MaxHops)
+	c.PingInterval = defaulted(c.PingInterval, d.PingInterval)
+	c.PingTimeout = defaulted(c.PingTimeout, d.PingTimeout)
+	c.PingRetries = defaulted(c.PingRetries, d.PingRetries)
+	c.LinkResend = defaulted(c.LinkResend, d.LinkResend)
+	c.LinkBackoff = defaulted(c.LinkBackoff, d.LinkBackoff)
+	c.LinkRetries = defaulted(c.LinkRetries, d.LinkRetries)
+	c.StatusInterval = defaulted(c.StatusInterval, d.StatusInterval)
+	c.FarInterval = defaulted(c.FarInterval, d.FarInterval)
+	c.SuspectRetries = defaulted(c.SuspectRetries, d.SuspectRetries)
+	c.RelinkBase = defaulted(c.RelinkBase, d.RelinkBase)
+	c.RelinkRetries = defaulted(c.RelinkRetries, d.RelinkRetries)
 	if c.Transport == "" {
 		c.Transport = "udp"
 	}
@@ -181,9 +204,10 @@ type Node struct {
 	onConn   []func(*Connection)
 	onDisc   []func(*Connection)
 
-	near *nearOverlord
-	far  *farOverlord
-	sco  *shortcutOverlord
+	near   *nearOverlord
+	far    *farOverlord
+	sco    *shortcutOverlord
+	repair *repairOverlord
 
 	tokenSeq uint64
 	pingSeq  uint64
@@ -328,12 +352,14 @@ func (n *Node) Start(bootstrap []URI) error {
 
 	n.near = newNearOverlord(n)
 	n.far = newFarOverlord(n)
+	n.repair = newRepairOverlord(n)
 	if n.cfg.Shortcut != nil {
 		n.sco = newShortcutOverlord(n, *n.cfg.Shortcut)
 	}
 
 	n.near.start()
 	n.far.start()
+	n.repair.start()
 	if n.sco != nil {
 		n.sco.start()
 	}
@@ -371,15 +397,33 @@ func (n *Node) Stop() {
 		n.slisten.Close()
 		n.slisten = nil
 	}
-	n.near, n.far, n.sco = nil, nil, nil
+	n.near, n.far, n.sco, n.repair = nil, nil, nil, nil
 	n.learned = uriSet{}
 }
 
-// Leave gracefully departs: close messages let neighbors repair the ring
-// immediately instead of waiting for ping timeouts.
+// Leave gracefully departs. Structured-near neighbors get a handoff
+// (leaveMsg): besides closing the link it introduces the departing node's
+// other ring neighbors, so the two nodes either side of the hole link to
+// each other immediately instead of discovering the death by ping timeout
+// and re-converging through status gossip — the graceful path that shrinks
+// the §V-C migration no-routability window. All other connections get a
+// plain close.
 func (n *Node) Leave() {
 	if !n.up {
 		return
+	}
+	nears := n.connsOfType(StructuredNear)
+	for _, c := range nears {
+		msg := leaveMsg{From: n.addr}
+		for _, o := range nears {
+			if o.Peer == c.Peer {
+				continue
+			}
+			msg.Neighbors = append(msg.Neighbors, NeighborInfo{Addr: o.Peer, URIs: o.URIs})
+		}
+		n.sendConn(c, statusMsgSize+24*len(msg.Neighbors), msg)
+		n.Stats.Inc("handoff.sent", 1)
+		n.dropConnection(c, false, "leave") // leaveMsg already closes
 	}
 	for _, c := range n.Connections() {
 		n.dropConnection(c, true, "leave")
@@ -499,6 +543,10 @@ func (n *Node) handleWire(w wire, payload any) {
 		if c, ok := n.conns[m.From]; ok {
 			n.dropConnection(c, false, "peer_close")
 		}
+	case leaveMsg:
+		n.handleLeave(m)
+	case suspectMsg:
+		n.handleSuspect(m)
 	case statusMsg:
 		if c, ok := n.conns[m.From]; ok {
 			n.touch(c)
@@ -693,6 +741,45 @@ func (n *Node) handleCTMReply(rep ctmReply) {
 	}
 	n.Stats.Inc("ctm.replied", 1)
 	n.startLinker(rep.From, rep.URIs, rep.Type)
+}
+
+// handleLeave processes a graceful departure with handoff: drop the
+// departing peer's connection (the leaveMsg doubles as its close) and link
+// toward the introduced neighbors we now want — typically our new ring
+// neighbor across the hole the departure opens. Both sides of the hole
+// receive the same introduction and both initiate, which is what lets the
+// handoff traverse NATs (bidirectional linking, as with CTMs).
+func (n *Node) handleLeave(m leaveMsg) {
+	if c, ok := n.conns[m.From]; ok {
+		n.dropConnection(c, false, "peer_leave")
+	}
+	n.Stats.Inc("handoff.received", 1)
+	for _, info := range m.Neighbors {
+		if info.Addr == n.addr || len(info.URIs) == 0 {
+			continue
+		}
+		if _, ok := n.conns[info.Addr]; ok {
+			continue
+		}
+		if n.near != nil && n.near.wanted(info.Addr) {
+			n.Stats.Inc("handoff.linked", 1)
+			n.startLinker(info.Addr, info.URIs, StructuredNear)
+		}
+	}
+}
+
+// handleSuspect reacts to a forwarded death verdict: if we also hold a
+// connection to the suspect, probe it immediately with a reduced retry
+// budget. A live suspect answers the ping and nothing is torn down; a dead
+// one is cleared in a couple of ping timeouts instead of every peer
+// independently waiting out its full keepalive cycle.
+func (n *Node) handleSuspect(m suspectMsg) {
+	if m.Dead == n.addr {
+		return
+	}
+	if c, ok := n.conns[m.Dead]; ok {
+		n.fastProbe(c)
+	}
 }
 
 // handleForwarded relays a payload to a leaf child (§IV-C: "the leaf

@@ -1,6 +1,8 @@
 package brunet
 
 import (
+	"sort"
+
 	"wow/internal/sim"
 )
 
@@ -73,6 +75,9 @@ func (o *nearOverlord) leafConn() *Connection {
 
 func (o *nearOverlord) onConnection(c *Connection) {
 	n := o.node
+	if n.near != o {
+		return // stale callback from before a restart
+	}
 	if c.Has(Leaf) && o.leafPeer.IsZero() {
 		o.leafPeer = c.Peer
 		// Don't wait for the next maintenance tick: join now.
@@ -84,6 +89,9 @@ func (o *nearOverlord) onConnection(c *Connection) {
 }
 
 func (o *nearOverlord) onDisconnection(c *Connection) {
+	if o.node.near != o {
+		return // stale callback from before a restart
+	}
 	if c.Peer == o.leafPeer {
 		o.leafPeer = Zero
 	}
@@ -266,7 +274,16 @@ func (o *shortcutOverlord) tick() {
 		o.score[peer] += a
 		delete(o.arrivals, peer)
 	}
-	for peer, s := range o.score {
+	// Walk scores in address order: the loop sends CTMs and drops idle
+	// shortcuts, so map-order iteration would perturb the deterministic
+	// event sequence between runs.
+	peers := make([]Addr, 0, len(o.score))
+	for peer := range o.score {
+		peers = append(peers, peer)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
+	for _, peer := range peers {
+		s := o.score[peer]
 		s -= drain
 		if s <= 0 {
 			s = 0

@@ -1,0 +1,120 @@
+package brunet
+
+import "wow/internal/sim"
+
+// repairOverlord re-establishes structured connections lost involuntarily
+// (ping timeout, stream death) — the connection-table repair that re-merges
+// a healed partition without waiting for bootstrap retries or gossip
+// rounds. Each lost peer is retried against its last advertised URIs with
+// jittered exponential backoff, RelinkBase·2^attempt + U[0, RelinkBase),
+// for up to RelinkRetries attempts; the jitter desynchronizes the two
+// partition sides so a heal does not trigger a reconnection stampede.
+// Voluntary drops (leave, peer_close, trim, idle) are never re-linked.
+//
+// The overlord is event-driven rather than ticker-based so that a healthy
+// node costs nothing: no periodic pass, and no random draws that would
+// perturb the deterministic event sequence of fault-free runs.
+type repairOverlord struct {
+	node    *Node
+	pending map[Addr]*relinkState
+}
+
+// relinkState is one peer awaiting re-link.
+type relinkState struct {
+	uris    []URI
+	ctype   ConnType
+	attempt int
+	ev      *sim.Event
+}
+
+// relinkReasons are the involuntary drop reasons eligible for repair.
+var relinkReasons = map[string]bool{"timeout": true, "stream": true}
+
+func newRepairOverlord(n *Node) *repairOverlord {
+	return &repairOverlord{node: n, pending: make(map[Addr]*relinkState)}
+}
+
+// enabled reports whether repair is configured on (RelinkRetries = UseZero
+// turns it off).
+func (o *repairOverlord) enabled() bool {
+	return o.node.cfg.RelinkRetries > 0 && o.node.cfg.RelinkBase > 0
+}
+
+func (o *repairOverlord) start() {
+	if !o.enabled() {
+		return
+	}
+	n := o.node
+	n.OnConnection(o.onConnection)
+	n.OnDisconnection(o.onDisconnection)
+}
+
+func (o *repairOverlord) onConnection(c *Connection) {
+	if o.node.repair != o {
+		return // stale callback from before a restart
+	}
+	if st, ok := o.pending[c.Peer]; ok {
+		st.ev.Cancel()
+		delete(o.pending, c.Peer)
+		o.node.Stats.Inc("relink.success", 1)
+	}
+}
+
+func (o *repairOverlord) onDisconnection(c *Connection) {
+	n := o.node
+	if n.repair != o {
+		return // stale callback from before a restart
+	}
+	if !relinkReasons[c.dropReason] || !c.structured() || len(c.URIs) == 0 {
+		return
+	}
+	// Re-link in the connection's most load-bearing role; the overlords
+	// re-derive the rest once the link is back.
+	t := Shortcut
+	if c.Has(StructuredFar) {
+		t = StructuredFar
+	}
+	if c.Has(StructuredNear) {
+		t = StructuredNear
+	}
+	if st, ok := o.pending[c.Peer]; ok {
+		st.ev.Cancel()
+	}
+	st := &relinkState{uris: c.URIs, ctype: t}
+	o.pending[c.Peer] = st
+	o.schedule(c.Peer, st)
+}
+
+// schedule arms the next re-link attempt with jittered exponential backoff.
+func (o *repairOverlord) schedule(peer Addr, st *relinkState) {
+	n := o.node
+	shift := uint(st.attempt)
+	if shift > 6 {
+		shift = 6
+	}
+	d := n.cfg.RelinkBase<<shift +
+		sim.Duration(n.sim.Rand().Int63n(int64(n.cfg.RelinkBase)))
+	st.ev = n.sim.After(d, func() { o.fire(peer, st) })
+}
+
+// fire runs one due re-link attempt.
+func (o *repairOverlord) fire(peer Addr, st *relinkState) {
+	n := o.node
+	if !n.up || n.repair != o || o.pending[peer] != st {
+		return
+	}
+	if _, ok := n.conns[peer]; ok {
+		delete(o.pending, peer)
+		n.Stats.Inc("relink.success", 1)
+		return
+	}
+	if st.attempt >= n.cfg.RelinkRetries {
+		delete(o.pending, peer)
+		n.Stats.Inc("relink.giveup", 1)
+		return
+	}
+	st.attempt++
+	n.Stats.Inc("relink.attempts", 1)
+	n.startLinker(peer, st.uris, st.ctype)
+	o.schedule(peer, st)
+}

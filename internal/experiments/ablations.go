@@ -305,7 +305,7 @@ func (r *TransportResult) String() string {
 
 // RunTransportAblation measures both transports on otherwise identical
 // overlays.
-func RunTransportAblation(opts AblationOpts) *TransportResult {
+func RunTransportAblation(opts AblationOpts) (*TransportResult, error) {
 	opts.fillDefaults()
 	res := &TransportResult{}
 	for _, transport := range []string{"udp", "tcp"} {
@@ -329,7 +329,7 @@ func RunTransportAblation(opts AblationOpts) *TransportResult {
 		})
 		src, dst := tb.VM("node003"), tb.VM("node017")
 		if err := workloads.TTCPServe(dst.Stack()); err != nil {
-			panic(fmt.Sprintf("transport ablation: %v", err))
+			return nil, fmt.Errorf("transport ablation: %w", err)
 		}
 		warm := tb.Sim.Tick(sim.Second, 0, func() {
 			src.Stack().Ping(dst.IP(), 64, 2*sim.Second, func(bool, sim.Duration) {})
@@ -351,5 +351,5 @@ func RunTransportAblation(opts AblationOpts) *TransportResult {
 			res.JoinTCP, res.BandwidthTCP = join, bw
 		}
 	}
-	return res
+	return res, nil
 }

@@ -80,7 +80,10 @@ func TestJoinStatsMeetsClaims(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res := RunTable2(Table2Opts{Seed: 1, Sizes: []int64{8 << 20}, Repeats: 2})
+	res, err := RunTable2(Table2Opts{Seed: 1, Sizes: []int64{8 << 20}, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, sc := range []string{"UFL-UFL", "UFL-NWU"} {
 		on := res.Cell(sc, true)
 		off := res.Cell(sc, false)
@@ -110,7 +113,10 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	res := RunFig6(Fig6Opts{Seed: 1, FileBytes: 256 << 20})
+	res, err := RunFig6(Fig6Opts{Seed: 1, FileBytes: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Completed {
 		t.Fatal("transfer did not survive the migration")
 	}
@@ -130,7 +136,10 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res := RunFig7(Fig7Opts{Seed: 1, Jobs: 110})
+	res, err := RunFig7(Fig7Opts{Seed: 1, Jobs: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.AllSucceeded {
 		t.Fatal("a job failed")
 	}
@@ -149,8 +158,14 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	on := RunFig8(Fig8Opts{Seed: 1, Jobs: 250, Shortcuts: true})
-	off := RunFig8(Fig8Opts{Seed: 1, Jobs: 250, Shortcuts: false})
+	on, err := RunFig8(Fig8Opts{Seed: 1, Jobs: 250, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunFig8(Fig8Opts{Seed: 1, Jobs: 250, Shortcuts: false})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if on.Failed > 0 || off.Failed > 0 {
 		t.Fatalf("failures: on=%d off=%d", on.Failed, off.Failed)
 	}
@@ -180,7 +195,10 @@ func TestTable3Shape(t *testing.T) {
 	opts := Table3Opts{Seed: 1}
 	opts.fillDefaults()
 	opts.Workload.SeqCPU = opts.Workload.SeqCPU / 8 // scale down for test speed
-	res := RunTable3(opts)
+	res, err := RunTable3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := res.SeqNode034 / res.SeqNode002
 	if ratio < 1.9 || ratio > 2.2 {
 		t.Errorf("node034/node002 sequential ratio %.2f, paper 2.03", ratio)
@@ -206,7 +224,10 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestOutageRecovery(t *testing.T) {
-	res := RunOutage(OutageOpts{Seed: 1, Trials: 2})
+	res, err := RunOutage(OutageOpts{Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Summary.Max > 120 {
 		t.Errorf("restart recovery %.0fs; this implementation should heal in seconds", res.Summary.Max)
 	}

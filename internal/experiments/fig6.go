@@ -79,7 +79,7 @@ func (r *Fig6Result) String() string {
 // from a server VM at UFL; mid-transfer the server VM is migrated to NWU
 // (IPOP killed, VM suspended, image copied, VM resumed, IPOP restarted)
 // and the transfer must resume without any application action.
-func RunFig6(opts Fig6Opts) *Fig6Result {
+func RunFig6(opts Fig6Opts) (*Fig6Result, error) {
 	opts.fillDefaults()
 	tb := testbed.Build(testbed.Config{
 		Seed:           opts.Seed,
@@ -93,7 +93,7 @@ func RunFig6(opts Fig6Opts) *Fig6Result {
 
 	srv, err := scp.NewServer(server.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig6: %v", err))
+		return nil, fmt.Errorf("fig6: %w", err)
 	}
 	srv.Put("/data/dataset.tar", opts.FileBytes)
 
@@ -109,15 +109,20 @@ func RunFig6(opts Fig6Opts) *Fig6Result {
 	tr := scp.Fetch(client.Stack(), server.IP(), "/data/dataset.tar", 5*sim.Second, nil)
 
 	// Kick off the migration at the configured elapsed time.
+	var migErr error
 	tb.Sim.At(start.Add(opts.MigrateAt), func() {
 		dst := tb.NewHostAt("northwestern.edu")
 		if err := server.Migrate(dst, vm.MigrationConfig{TransferBps: opts.TransferBps}, nil); err != nil {
-			panic(fmt.Sprintf("fig6: migrate: %v", err))
+			migErr = fmt.Errorf("fig6: migrate: %w", err)
+			tb.Sim.Stop()
 		}
 	})
 
-	for !tr.Done && tb.Sim.Now().Sub(start) < 4*sim.Hour {
+	for !tr.Done && migErr == nil && tb.Sim.Now().Sub(start) < 4*sim.Hour {
 		tb.Sim.RunFor(sim.Minute)
+	}
+	if migErr != nil {
+		return nil, migErr
 	}
 
 	res := &Fig6Result{
@@ -160,5 +165,5 @@ func RunFig6(opts Fig6Opts) *Fig6Result {
 			res.PostMBs = (b1 - b0) / (t1 - t0) / (1 << 20)
 		}
 	}
-	return res
+	return res, nil
 }

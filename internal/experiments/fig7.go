@@ -98,7 +98,7 @@ func (r *Fig7Result) String() string {
 // then the VM is migrated to an unloaded host at NWU while a job runs.
 // The in-flight job must complete (late), subsequent jobs speed up, and
 // no application ever restarts.
-func RunFig7(opts Fig7Opts) *Fig7Result {
+func RunFig7(opts Fig7Opts) (*Fig7Result, error) {
 	opts.fillDefaults()
 	tb := testbed.Build(testbed.Config{
 		Seed:           opts.Seed,
@@ -112,20 +112,21 @@ func RunFig7(opts Fig7Opts) *Fig7Result {
 
 	nfsSrv, err := nfs.NewServer(head.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig7: %v", err))
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
 	meme := workloads.DefaultMEME()
 	nfsSrv.Put(meme.InputPath, meme.InputBytes)
 	pbsHead, err := pbs.NewHead(head.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig7: %v", err))
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
 	if _, err := pbs.NewMOM(worker, head.IP()); err != nil {
-		panic(fmt.Sprintf("fig7: %v", err))
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
 	tb.Sim.RunFor(2 * sim.Minute) // registration + shortcut warmup
 
 	res := &Fig7Result{AllSucceeded: true}
+	var migErr error
 	rng := tb.Sim.Rand()
 	phase := "baseline"
 	migrating := false
@@ -150,7 +151,8 @@ func RunFig7(opts Fig7Opts) *Fig7Result {
 					// Destination host is unloaded.
 					worker.SetHostLoad(1)
 				}); err != nil {
-					panic(fmt.Sprintf("fig7: migrate: %v", err))
+					migErr = fmt.Errorf("fig7: migrate: %w", err)
+					tb.Sim.Stop()
 				}
 			})
 		}
@@ -172,8 +174,11 @@ func RunFig7(opts Fig7Opts) *Fig7Result {
 	submit(0)
 
 	deadline := tb.Sim.Now().Add(12 * sim.Hour)
-	for len(res.Points) < opts.Jobs && tb.Sim.Now() < deadline {
+	for len(res.Points) < opts.Jobs && migErr == nil && tb.Sim.Now() < deadline {
 		tb.Sim.RunFor(sim.Minute)
+	}
+	if migErr != nil {
+		return nil, migErr
 	}
 	if len(res.Points) < opts.Jobs {
 		res.AllSucceeded = false
@@ -193,7 +198,7 @@ func RunFig7(opts Fig7Opts) *Fig7Result {
 	res.BaselineMean = mean(base)
 	res.LoadedMean = mean(loaded)
 	res.MigratedMean = mean(migrated)
-	return res
+	return res, nil
 }
 
 func mean(xs []float64) float64 {

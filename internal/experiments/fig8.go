@@ -98,7 +98,7 @@ func (r *Fig8Result) String() string {
 // 1 job/second to a PBS head (node002, UFL) scheduling over all 33 WOW
 // compute nodes, with input staged from and output committed to the
 // head's NFS export.
-func RunFig8(opts Fig8Opts) *Fig8Result {
+func RunFig8(opts Fig8Opts) (*Fig8Result, error) {
 	opts.fillDefaults()
 	tb := testbed.Build(testbed.Config{
 		Seed:           opts.Seed,
@@ -111,17 +111,17 @@ func RunFig8(opts Fig8Opts) *Fig8Result {
 
 	nfsSrv, err := nfs.NewServer(head.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig8: %v", err))
+		return nil, fmt.Errorf("fig8: %w", err)
 	}
 	meme := workloads.DefaultMEME()
 	nfsSrv.Put(meme.InputPath, meme.InputBytes)
 	pbsHead, err := pbs.NewHead(head.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig8: %v", err))
+		return nil, fmt.Errorf("fig8: %w", err)
 	}
 	for _, v := range tb.VMs {
 		if _, err := pbs.NewMOM(v, head.IP()); err != nil {
-			panic(fmt.Sprintf("fig8: mom %s: %v", v.Name(), err))
+			return nil, fmt.Errorf("fig8: mom %s: %w", v.Name(), err)
 		}
 	}
 	tb.Sim.RunFor(2 * sim.Minute) // registrations
@@ -171,5 +171,5 @@ func RunFig8(opts Fig8Opts) *Fig8Result {
 	for n, c := range res.JobShare {
 		res.JobShare[n] = c / float64(opts.Jobs)
 	}
-	return res
+	return res, nil
 }

@@ -29,13 +29,13 @@ func mustVIP(s string) vip.IP { return vip.MustParseIP(s) }
 
 // buildSmallOverlay stands up n public routers and two public
 // workstations on the given network.
-func buildSmallOverlay(s *sim.Simulator, net *phys.Network, n int) *smallOverlay {
+func buildSmallOverlay(s *sim.Simulator, net *phys.Network, n int) (*smallOverlay, error) {
 	w := core.New(s, core.Options{Shortcuts: true, Brunet: fastBrunet()})
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("r%02d", i)
 		h := net.AddHost(name, net.AddSite(name), net.Root(), phys.HostConfig{})
 		if _, err := w.AddRouter(h, name); err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
+			return nil, fmt.Errorf("experiments: add router %s: %w", name, err)
 		}
 		s.RunFor(sim.Second)
 	}
@@ -47,12 +47,12 @@ func buildSmallOverlay(s *sim.Simulator, net *phys.Network, n int) *smallOverlay
 		})
 		v, err := w.AddWorkstation(h, mustVIP(fmt.Sprintf("172.16.1.%d", i+2)), vm.Spec{Name: name})
 		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
+			return nil, fmt.Errorf("experiments: add workstation %s: %w", name, err)
 		}
 		so.vms = append(so.vms, v)
 	}
 	s.RunFor(2 * sim.Minute)
-	return so
+	return so, nil
 }
 
 // pingOK sends one virtual ping and waits out its timeout.
@@ -65,7 +65,7 @@ func pingOK(s *sim.Simulator, from *vm.VM, to vip.IP) bool {
 
 // runFig6Live is RunFig6 with live pre-copy migration instead of
 // suspend-transfer-resume.
-func runFig6Live(opts Fig6Opts) *Fig6Result {
+func runFig6Live(opts Fig6Opts) (*Fig6Result, error) {
 	opts.fillDefaults()
 	tb := testbed.Build(testbed.Config{
 		Seed:           opts.Seed,
@@ -79,7 +79,7 @@ func runFig6Live(opts Fig6Opts) *Fig6Result {
 
 	srv, err := scp.NewServer(server.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("fig6live: %v", err))
+		return nil, fmt.Errorf("fig6live: %w", err)
 	}
 	srv.Put("/data/dataset.tar", opts.FileBytes)
 
@@ -91,14 +91,19 @@ func runFig6Live(opts Fig6Opts) *Fig6Result {
 
 	start := tb.Sim.Now()
 	tr := scp.Fetch(client.Stack(), server.IP(), "/data/dataset.tar", 5*sim.Second, nil)
+	var migErr error
 	tb.Sim.At(start.Add(opts.MigrateAt), func() {
 		dst := tb.NewHostAt("northwestern.edu")
 		if err := server.MigrateLive(dst, vm.MigrationConfig{TransferBps: opts.TransferBps}, nil); err != nil {
-			panic(fmt.Sprintf("fig6live: %v", err))
+			migErr = fmt.Errorf("fig6live: migrate: %w", err)
+			tb.Sim.Stop()
 		}
 	})
-	for !tr.Done && tb.Sim.Now().Sub(start) < 4*sim.Hour {
+	for !tr.Done && migErr == nil && tb.Sim.Now().Sub(start) < 4*sim.Hour {
 		tb.Sim.RunFor(sim.Minute)
+	}
+	if migErr != nil {
+		return nil, migErr
 	}
 
 	res := &Fig6Result{
@@ -119,5 +124,5 @@ func runFig6Live(opts Fig6Opts) *Fig6Result {
 		lastB = bytes
 	}
 	res.StallSeconds = stall
-	return res
+	return res, nil
 }

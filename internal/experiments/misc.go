@@ -68,7 +68,7 @@ func (r *OutageResult) String() string {
 // seconds — an implementation improvement the experiment quantifies
 // rather than hides. The paper-sized outage is reproduced end-to-end in
 // RunFig6, where suspend/transfer/resume dominates.
-func RunOutage(opts OutageOpts) *OutageResult {
+func RunOutage(opts OutageOpts) (*OutageResult, error) {
 	opts.fillDefaults()
 	cfg := testbed.Config{
 		Seed:           opts.Seed,
@@ -95,7 +95,7 @@ func RunOutage(opts OutageOpts) *OutageResult {
 		victim.Node().Stop()
 		killAt := tb.Sim.Now()
 		if err := victim.Node().Start(tb.Boot()); err != nil {
-			panic(fmt.Sprintf("outage: restart: %v", err))
+			return nil, fmt.Errorf("outage: restart: %w", err)
 		}
 
 		recovered := math.NaN()
@@ -118,7 +118,7 @@ func RunOutage(opts OutageOpts) *OutageResult {
 		tb.Sim.RunFor(5 * sim.Minute) // settle before next trial
 	}
 	res.Summary = metrics.Summarize(res.Seconds)
-	return res
+	return res, nil
 }
 
 // VirtOverheadResult is the §V-D1 virtualization overhead check.

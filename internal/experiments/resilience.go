@@ -38,7 +38,7 @@ func (r *NATRebindResult) String() string {
 // RunNATRebind flushes the home node's outermost NAT (node034's ISP-level
 // box) repeatedly and measures how long the overlay takes to detect the
 // broken links and re-establish them — with no process restart anywhere.
-func RunNATRebind(seed int64, trials int) *NATRebindResult {
+func RunNATRebind(seed int64, trials int) (*NATRebindResult, error) {
 	if trials == 0 {
 		trials = 3
 	}
@@ -48,14 +48,17 @@ func RunNATRebind(seed int64, trials int) *NATRebindResult {
 		phys.PathModel{OneWay: 15 * sim.Millisecond},
 	))
 	// A small public overlay plus one node behind a rebinding NAT.
-	tbLike := buildSmallOverlay(s, net, 24)
+	tbLike, err := buildSmallOverlay(s, net, 24)
+	if err != nil {
+		return nil, fmt.Errorf("natrebind: %w", err)
+	}
 	nat := natsim.NewNAT("isp", natsim.Config{Type: natsim.PortRestricted}, net.Root().NextIP(), s.Now)
 	realm := net.AddRealm("home", net.Root(), nat, phys.MustParseIP("192.168.1.10"))
 	host := net.AddHost("home-host", net.AddSite("home"), realm, phys.HostConfig{})
 	home := vm.New(host, mustVIP("172.16.1.34"), vm.Spec{Name: "node034", CPUSpeed: 0.49},
 		fastBrunet(), stackCfg())
 	if err := home.Start(tbLike.boot); err != nil {
-		panic(fmt.Sprintf("natrebind: %v", err))
+		return nil, fmt.Errorf("natrebind: %w", err)
 	}
 	prober := tbLike.vms[0]
 	s.RunFor(2 * sim.Minute)
@@ -89,7 +92,7 @@ func RunNATRebind(seed int64, trials int) *NATRebindResult {
 		res.OutageSeconds = append(res.OutageSeconds, recovered)
 		s.RunFor(sim.Minute)
 	}
-	return res
+	return res, nil
 }
 
 // ChurnResult measures overlay self-repair under bulk router failure —
@@ -177,12 +180,18 @@ func (r *LiveMigrationResult) String() string {
 // RunLiveMigration runs the Figure 6 scenario twice — once with the
 // paper's suspend-copy migration and once with live pre-copy — and
 // compares the client-visible stalls.
-func RunLiveMigration(seed int64) *LiveMigrationResult {
-	suspend := RunFig6(Fig6Opts{Seed: seed, FileBytes: 256 << 20})
-	live := runFig6Live(Fig6Opts{Seed: seed, FileBytes: 256 << 20})
+func RunLiveMigration(seed int64) (*LiveMigrationResult, error) {
+	suspend, err := RunFig6(Fig6Opts{Seed: seed, FileBytes: 256 << 20})
+	if err != nil {
+		return nil, err
+	}
+	live, err := runFig6Live(Fig6Opts{Seed: seed, FileBytes: 256 << 20})
+	if err != nil {
+		return nil, err
+	}
 	return &LiveMigrationResult{
 		SuspendStallSeconds: suspend.StallSeconds,
 		LiveStallSeconds:    live.StallSeconds,
 		BothCompleted:       suspend.Completed && live.Completed,
-	}
+	}, nil
 }

@@ -3,7 +3,10 @@ package experiments
 import "testing"
 
 func TestNATRebindHealsAutonomously(t *testing.T) {
-	r := RunNATRebind(1, 2)
+	r, err := RunNATRebind(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Recovered {
 		t.Fatalf("NAT rebind did not heal: %v", r.OutageSeconds)
 	}
@@ -25,7 +28,10 @@ func TestChurnHeals(t *testing.T) {
 }
 
 func TestLiveMigrationShrinksStall(t *testing.T) {
-	r := RunLiveMigration(1)
+	r, err := RunLiveMigration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.BothCompleted {
 		t.Fatal("a transfer failed")
 	}

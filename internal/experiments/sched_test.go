@@ -3,7 +3,10 @@ package experiments
 import "testing"
 
 func TestSchedulerComparison(t *testing.T) {
-	r := RunSchedulerComparison(1, 150)
+	r, err := RunSchedulerComparison(1, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.PBSJobsPerMinute <= 0 || r.CondorJobsPerMinute <= 0 {
 		t.Fatalf("legs incomplete: %+v", r)
 	}

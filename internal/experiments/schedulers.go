@@ -41,14 +41,17 @@ func (r *SchedulerComparison) String() string {
 }
 
 // RunSchedulerComparison executes the same job stream under both stacks.
-func RunSchedulerComparison(seed int64, jobs int) *SchedulerComparison {
+func RunSchedulerComparison(seed int64, jobs int) (*SchedulerComparison, error) {
 	if jobs == 0 {
 		jobs = 400
 	}
 	res := &SchedulerComparison{Jobs: jobs}
 
 	// PBS leg reuses the Figure 8 harness.
-	f8 := RunFig8(Fig8Opts{Seed: seed, Jobs: jobs, Shortcuts: true})
+	f8, err := RunFig8(Fig8Opts{Seed: seed, Jobs: jobs, Shortcuts: true})
+	if err != nil {
+		return nil, fmt.Errorf("schedulers: pbs leg: %w", err)
+	}
 	res.PBSJobsPerMinute = f8.JobsPerMinute
 	res.PBSMeanSeconds = f8.MeanSeconds
 
@@ -61,7 +64,7 @@ func RunSchedulerComparison(seed int64, jobs int) *SchedulerComparison {
 	head := tb.VM("node002")
 	cm, err := condor.NewCentralManager(head.Stack(), 30*sim.Second)
 	if err != nil {
-		panic(fmt.Sprintf("schedulers: %v", err))
+		return nil, fmt.Errorf("schedulers: %w", err)
 	}
 	schedd := condor.NewSchedd(head.Stack())
 	cm.AttachSchedd(schedd)
@@ -70,7 +73,7 @@ func RunSchedulerComparison(seed int64, jobs int) *SchedulerComparison {
 	// EXPERIMENTS.md.
 	for _, v := range tb.VMs {
 		if _, err := condor.NewStartd(v, v.Spec().CPUSpeed, head.IP(), 60*sim.Second); err != nil {
-			panic(fmt.Sprintf("schedulers: startd %s: %v", v.Name(), err))
+			return nil, fmt.Errorf("schedulers: startd %s: %w", v.Name(), err)
 		}
 	}
 	tb.Sim.RunFor(2 * sim.Minute)
@@ -105,5 +108,5 @@ func RunSchedulerComparison(seed int64, jobs int) *SchedulerComparison {
 	if wall := lastDone.Sub(firstSubmit).Seconds(); wall > 0 {
 		res.CondorJobsPerMinute = float64(len(walls)) / (wall / 60)
 	}
-	return res
+	return res, nil
 }

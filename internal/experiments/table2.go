@@ -92,28 +92,34 @@ func table2Pairs() map[string][2]string {
 // node pairs with the shortcut overlord enabled and disabled. The two
 // overlay configurations are independent simulations and run on parallel
 // goroutines.
-func RunTable2(opts Table2Opts) *Table2Result {
+func RunTable2(opts Table2Opts) (*Table2Result, error) {
 	opts.fillDefaults()
 	res := &Table2Result{}
 	legs := make([][]Table2Cell, 2)
+	errs := make([]error, 2)
 	var wg sync.WaitGroup
 	for li, shortcuts := range []bool{true, false} {
 		li, shortcuts := li, shortcuts
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			legs[li] = runTable2Leg(opts, shortcuts)
+			legs[li], errs[li] = runTable2Leg(opts, shortcuts)
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, leg := range legs {
 		res.Cells = append(res.Cells, leg...)
 	}
-	return res
+	return res, nil
 }
 
 // runTable2Leg measures both scenarios under one shortcut setting.
-func runTable2Leg(opts Table2Opts, shortcuts bool) []Table2Cell {
+func runTable2Leg(opts Table2Opts, shortcuts bool) ([]Table2Cell, error) {
 	var cells []Table2Cell
 	{
 		tb := testbed.Build(testbed.Config{
@@ -127,7 +133,7 @@ func runTable2Leg(opts Table2Opts, shortcuts bool) []Table2Cell {
 			src := tb.VM(pair[0])
 			dst := tb.VM(pair[1])
 			if err := workloads.TTCPServe(dst.Stack()); err != nil {
-				panic(fmt.Sprintf("table2: %v", err))
+				return nil, fmt.Errorf("table2: %w", err)
 			}
 			if shortcuts {
 				// Warm the path so measurements reflect the
@@ -167,5 +173,5 @@ func runTable2Leg(opts Table2Opts, shortcuts bool) []Table2Cell {
 			})
 		}
 	}
-	return cells
+	return cells, nil
 }

@@ -66,7 +66,7 @@ func (r *Table3Result) String() string {
 
 // runFastDNAmlParallel runs the workload over the first `workers` Table I
 // compute nodes after the master (node002), returning wall seconds.
-func runFastDNAmlParallel(opts Table3Opts, workers int, shortcuts bool) float64 {
+func runFastDNAmlParallel(opts Table3Opts, workers int, shortcuts bool) (float64, error) {
 	tb := testbed.Build(testbed.Config{
 		Seed:           opts.Seed,
 		Shortcuts:      shortcuts,
@@ -77,7 +77,7 @@ func runFastDNAmlParallel(opts Table3Opts, workers int, shortcuts bool) float64 
 	master := tb.VM("node002")
 	m, err := pvm.NewMaster(master.Stack())
 	if err != nil {
-		panic(fmt.Sprintf("table3: %v", err))
+		return 0, fmt.Errorf("table3: %w", err)
 	}
 	defs := testbed.TableI()
 	n := 0
@@ -86,7 +86,7 @@ func runFastDNAmlParallel(opts Table3Opts, workers int, shortcuts bool) float64 
 			break
 		}
 		if _, err := pvm.NewWorker(tb.VM(def.Name), master.IP()); err != nil {
-			panic(fmt.Sprintf("table3: worker %s: %v", def.Name, err))
+			return 0, fmt.Errorf("table3: worker %s: %w", def.Name, err)
 		}
 		n++
 	}
@@ -95,13 +95,13 @@ func runFastDNAmlParallel(opts Table3Opts, workers int, shortcuts bool) float64 
 	m.SetRoundBroadcast(opts.Workload.BroadcastBytes)
 	var elapsed sim.Duration
 	if err := m.Run(opts.Workload.Rounds(), func(d sim.Duration) { elapsed = d }); err != nil {
-		panic(fmt.Sprintf("table3: %v", err))
+		return 0, fmt.Errorf("table3: %w", err)
 	}
 	deadline := tb.Sim.Now().Add(72 * sim.Hour)
 	for elapsed == 0 && tb.Sim.Now() < deadline {
 		tb.Sim.RunFor(10 * sim.Minute)
 	}
-	return elapsed.Seconds()
+	return elapsed.Seconds(), nil
 }
 
 // runFastDNAmlSequential executes the whole workload on one VM's CPU.
@@ -129,22 +129,33 @@ func runFastDNAmlSequential(opts Table3Opts, node string) float64 {
 // nodes with and without shortcut connections. The five configurations
 // are independent simulations and run on parallel goroutines, one
 // deterministic Simulator each.
-func RunTable3(opts Table3Opts) *Table3Result {
+func RunTable3(opts Table3Opts) (*Table3Result, error) {
 	opts.fillDefaults()
 	res := &Table3Result{}
 	var wg sync.WaitGroup
-	run := func(dst *float64, f func() float64) {
+	var mu sync.Mutex
+	var firstErr error
+	run := func(dst *float64, f func() (float64, error)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			*dst = f()
+			v, err := f()
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			*dst = v
 		}()
 	}
-	run(&res.SeqNode002, func() float64 { return runFastDNAmlSequential(opts, "node002") })
-	run(&res.SeqNode034, func() float64 { return runFastDNAmlSequential(opts, "node034") })
-	run(&res.Par15Shortcut, func() float64 { return runFastDNAmlParallel(opts, 15, true) })
-	run(&res.Par30NoShortcut, func() float64 { return runFastDNAmlParallel(opts, 30, false) })
-	run(&res.Par30Shortcut, func() float64 { return runFastDNAmlParallel(opts, 30, true) })
+	run(&res.SeqNode002, func() (float64, error) { return runFastDNAmlSequential(opts, "node002"), nil })
+	run(&res.SeqNode034, func() (float64, error) { return runFastDNAmlSequential(opts, "node034"), nil })
+	run(&res.Par15Shortcut, func() (float64, error) { return runFastDNAmlParallel(opts, 15, true) })
+	run(&res.Par30NoShortcut, func() (float64, error) { return runFastDNAmlParallel(opts, 30, false) })
+	run(&res.Par30Shortcut, func() (float64, error) { return runFastDNAmlParallel(opts, 30, true) })
 	wg.Wait()
-	return res
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
 }

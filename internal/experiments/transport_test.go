@@ -6,7 +6,10 @@ import (
 )
 
 func TestTransportAblation(t *testing.T) {
-	r := RunTransportAblation(AblationOpts{Seed: 1})
+	r, err := RunTransportAblation(AblationOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fmt.Println(r.String())
 	if r.JoinUDP <= 0 || r.JoinTCP <= 0 {
 		t.Fatalf("joins missing: %+v", r)

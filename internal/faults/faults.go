@@ -1,0 +1,189 @@
+// Package faults is a deterministic, sim-clock-driven fault injector for
+// the simulated WAN. Composable Fault values schedule link blackholes,
+// site-to-site partitions, packet-loss and latency bursts, node
+// crash+restart cycles, NAT table flushes and correlated churn waves
+// against any phys.Network (and hence any testbed built on one), recording
+// a per-fault timeline and event counters as they fire.
+//
+// Everything is driven off the shared sim.Simulator: under a fixed seed
+// two runs of the same scenario produce identical timelines, so recovery
+// measurements in internal/experiments are exactly repeatable.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"wow/internal/metrics"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// Injector owns the fault schedule for one network. It installs itself as
+// the network's Perturb hook; faults are armed with Schedule and fire on
+// the simulation clock.
+type Injector struct {
+	S   *sim.Simulator
+	Net *phys.Network
+
+	// Stats counts per-fault events uniformly as "<label>.<event>":
+	// begin/end for windowed wire faults, kill/restart for node faults,
+	// flush for NAT flushes, dropped per blackholed packet.
+	Stats metrics.Counter
+
+	rules    []*rule
+	timeline []TimelineEntry
+}
+
+// New creates an injector and installs it as net's Perturb hook.
+func New(s *sim.Simulator, net *phys.Network) *Injector {
+	inj := &Injector{S: s, Net: net}
+	net.Perturb = inj.perturb
+	return inj
+}
+
+// Close uninstalls the injector from its network; scheduled wire faults
+// stop having any effect.
+func (inj *Injector) Close() {
+	inj.rules = nil
+	inj.Net.Perturb = nil
+}
+
+// Fault is one schedulable fault scenario. The concrete types in this
+// package compose freely: schedule any number against one injector.
+type Fault interface {
+	// Label names the fault in the timeline and counters.
+	Label() string
+	arm(inj *Injector)
+}
+
+// Schedule arms faults on the injector's simulator.
+func (inj *Injector) Schedule(faults ...Fault) {
+	for _, f := range faults {
+		f.arm(inj)
+	}
+}
+
+// TimelineEntry is one recorded fault event, in virtual time.
+type TimelineEntry struct {
+	At    sim.Time
+	Fault string
+	Event string // begin, end, kill, restart, flush
+}
+
+// String renders "t=12.000s partition begin".
+func (e TimelineEntry) String() string {
+	return fmt.Sprintf("%s %s %s", e.At, e.Fault, e.Event)
+}
+
+// Timeline returns a copy of the fault events recorded so far, in firing
+// order.
+func (inj *Injector) Timeline() []TimelineEntry {
+	return append([]TimelineEntry(nil), inj.timeline...)
+}
+
+// TimelineString renders the timeline one event per line — convenient for
+// golden comparisons in determinism tests.
+func (inj *Injector) TimelineString() string {
+	var b strings.Builder
+	for _, e := range inj.timeline {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}
+
+func (inj *Injector) record(label, event string) {
+	inj.timeline = append(inj.timeline, TimelineEntry{At: inj.S.Now(), Fault: label, Event: event})
+	inj.Stats.Inc(label+"."+event, 1)
+}
+
+// rule is one active wire perturbation.
+type rule struct {
+	label  string
+	match  func(src, dst *phys.Host) bool
+	drop   bool
+	loss   float64
+	extra  sim.Duration
+	jitter sim.Duration
+}
+
+// perturb is the phys.Network hook: compose every active rule that matches
+// the packet's path. A drop rule wins outright; loss probabilities combine
+// as independent trials and latency adds.
+func (inj *Injector) perturb(src, dst *phys.Host, pm phys.PathModel) (phys.PathModel, bool) {
+	for _, r := range inj.rules {
+		if !r.match(src, dst) {
+			continue
+		}
+		if r.drop {
+			inj.Stats.Inc(r.label+".dropped", 1)
+			return pm, true
+		}
+		if r.loss > 0 {
+			pm.Loss = 1 - (1-pm.Loss)*(1-r.loss)
+		}
+		pm.OneWay += r.extra
+		pm.Jitter += r.jitter
+	}
+	return pm, false
+}
+
+// window installs r From after arming and removes it For later, recording
+// begin/end. A zero For leaves the fault active forever.
+func (inj *Injector) window(label string, r *rule, from, dur sim.Duration) {
+	inj.S.After(from, func() {
+		inj.rules = append(inj.rules, r)
+		inj.record(label, "begin")
+		if dur <= 0 {
+			return
+		}
+		inj.S.After(dur, func() {
+			for i, have := range inj.rules {
+				if have == r {
+					inj.rules = append(inj.rules[:i], inj.rules[i+1:]...)
+					break
+				}
+			}
+			inj.record(label, "end")
+		})
+	})
+}
+
+// Scope names the hosts a fault touches, by host name and/or site name; an
+// empty Scope matches every host.
+type Scope struct {
+	Hosts []string
+	Sites []string
+}
+
+// On is shorthand for a host-name scope.
+func On(hosts ...string) Scope { return Scope{Hosts: hosts} }
+
+// AtSites is shorthand for a site-name scope.
+func AtSites(sites ...string) Scope { return Scope{Sites: sites} }
+
+func (sc Scope) empty() bool { return len(sc.Hosts) == 0 && len(sc.Sites) == 0 }
+
+func (sc Scope) matcher() func(h *phys.Host) bool {
+	if sc.empty() {
+		return func(*phys.Host) bool { return true }
+	}
+	hosts := make(map[string]bool, len(sc.Hosts))
+	for _, n := range sc.Hosts {
+		hosts[n] = true
+	}
+	sites := make(map[string]bool, len(sc.Sites))
+	for _, n := range sc.Sites {
+		sites[n] = true
+	}
+	return func(h *phys.Host) bool {
+		return hosts[h.Name] || (h.Site != nil && sites[h.Site.Name])
+	}
+}
+
+func label(name, def string) string {
+	if name != "" {
+		return name
+	}
+	return def
+}

@@ -205,3 +205,42 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Inc("x", 2)
+	a.Inc("y", 1)
+	b.Inc("x", 3)
+	b.Inc("z", 5)
+	a.Merge(&b)
+	if a.Get("x") != 5 || a.Get("y") != 1 || a.Get("z") != 5 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	if b.Get("x") != 3 {
+		t.Fatal("merge mutated source")
+	}
+	var empty Counter
+	a.Merge(&empty) // merging a zero-value Counter is a no-op
+	if a.Get("x") != 5 {
+		t.Fatal("empty merge changed counts")
+	}
+}
+
+func TestRecoveryReportString(t *testing.T) {
+	r := &RecoveryReport{Scenario: "partition-heal", RecoverySec: 12.5}
+	r.Counters.Inc("relink.success", 3)
+	s := r.String()
+	if !strings.Contains(s, "partition-heal") || !strings.Contains(s, "12.5s") {
+		t.Fatalf("missing scenario/recovery line:\n%s", s)
+	}
+	// Every standard counter appears, including zeros.
+	for _, name := range RecoveryNames {
+		if !strings.Contains(s, name) {
+			t.Fatalf("missing %s in:\n%s", name, s)
+		}
+	}
+	r.RecoverySec = -1
+	if !strings.Contains(r.String(), "DID NOT RECOVER") {
+		t.Fatal("negative recovery not flagged")
+	}
+}

@@ -114,6 +114,12 @@ type Network struct {
 	// OnDrop, when set, observes every dropped packet with its loss
 	// reason; a diagnostics hook used by tests and experiment harnesses.
 	OnDrop func(reason string, p *Packet)
+	// Perturb, when set, lets a fault injector rewrite the path model of
+	// a single packet — adding loss or latency, or blackholing the packet
+	// outright (second return true; counted as lost.fault). It runs after
+	// routing and host-liveness checks, so the injector sees the actual
+	// delivering hosts. internal/faults installs this hook.
+	Perturb func(src, dst *Host, pm PathModel) (PathModel, bool)
 
 	sites      []*Site
 	root       *Realm
@@ -266,6 +272,14 @@ func (n *Network) send(src *Host, p *Packet) {
 	}
 
 	pm := n.Latency(src.Site, dst.Site)
+	if n.Perturb != nil {
+		var blackhole bool
+		pm, blackhole = n.Perturb(src, dst, pm)
+		if blackhole {
+			n.drop("lost.fault", p)
+			return
+		}
+	}
 	if pm.Loss > 0 && n.Sim.Rand().Float64() < pm.Loss {
 		n.drop("lost.wire", p)
 		return

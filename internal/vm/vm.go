@@ -256,6 +256,12 @@ type MigrationConfig struct {
 	// MaxPreCopyRounds bounds the iterative pre-copy before the final
 	// stop-and-copy. Zero means 8.
 	MaxPreCopyRounds int
+	// Graceful makes the IPOP shutdown a planned departure: instead of
+	// killing the process (peers discover the death by ping timeout, the
+	// paper's §V-C behaviour), the node leaves with handoff messages that
+	// introduce its ring neighbors to each other, so the ring is whole
+	// again seconds after the suspend instead of minutes.
+	Graceful bool
 }
 
 // Migrate suspends the VM, transfers its image to dst, resumes it there
@@ -271,9 +277,14 @@ func (v *VM) Migrate(dst *phys.Host, cfg MigrationConfig, done func()) error {
 	if cfg.TransferBps == 0 {
 		cfg.TransferBps = 2 << 20
 	}
-	// Step 1: kill the user-level IPOP process. No goodbyes; overlay
-	// peers will time the node out.
-	v.node.Stop()
+	// Step 1: stop the user-level IPOP process. The paper kills it
+	// outright and peers time the node out; with Graceful set the node
+	// leaves with ring-handoff goodbyes first.
+	if cfg.Graceful {
+		v.node.Leave()
+	} else {
+		v.node.Stop()
+	}
 	// Step 2: suspend the guest; in-flight jobs freeze.
 	v.suspended = true
 	v.pauseCPU()
