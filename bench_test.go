@@ -417,3 +417,26 @@ func BenchmarkAblationTransport(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScaleRouting measures the per-packet routing hot path on a
+// converged 1,000-node overlay: one end-to-end packet per iteration, with
+// the virtual clock frozen so keepalive and gossip timers cannot pollute
+// the measurement (see experiments.ScaleOverlay). allocs/op here is the
+// hard budget the hot-path refactor is held to; BENCH_scale.json records
+// the trajectory.
+func BenchmarkScaleRouting(b *testing.B) {
+	ov, err := experiments.BuildScaleOverlay(experiments.ScaleOpts{Seed: 1, Nodes: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := ov.Pair(i)
+		ov.RouteOne(src, dst)
+	}
+	b.StopTimer()
+	if ov.Delivered < b.N*99/100 {
+		b.Fatalf("delivered %d of %d packets", ov.Delivered, b.N)
+	}
+}

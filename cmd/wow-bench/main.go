@@ -2,10 +2,14 @@
 // evaluation (§V) against the simulated testbed and prints them with the
 // paper's numbers alongside. Select experiments with -run; scale trial
 // counts with the flags below (defaults are sized to finish in a few
-// minutes of wall-clock time; use -paper-scale for the full counts).
+// minutes of wall-clock time; use -paper-scale for the full counts). With
+// -json each experiment summary is emitted as one JSON object per line on
+// stdout (schema in EXPERIMENTS.md) and human-readable progress moves to
+// stderr, so the stream pipes cleanly into jq or a BENCH_*.json capture.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,13 +21,23 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers")
+	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers,scale")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
+	nodes := flag.Int("nodes", 2000, "overlay size for the scale harness (1000-5000)")
+	packets := flag.Int("packets", 2000, "routed packets measured by the scale harness")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full trial counts (slower)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment on stdout")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	flag.Parse()
+
+	// In JSON mode stdout carries only JSON objects; narration goes to
+	// stderr so the stream stays machine-consumable.
+	narrate := os.Stdout
+	if *jsonOut {
+		narrate = os.Stderr
+	}
 
 	writeCSV := func(name, content string) {
 		if *csvDir == "" {
@@ -38,7 +52,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			return
 		}
-		fmt.Printf("(wrote %s)\n", path)
+		fmt.Fprintf(narrate, "(wrote %s)\n", path)
 	}
 
 	if *paperScale {
@@ -51,6 +65,7 @@ func main() {
 		"table2": true, "fig6": true, "fig7": true, "fig8": true,
 		"table3": true, "outage": true, "virt": true, "ablations": true,
 		"resilience": true, "faults": true, "schedulers": true,
+		"scale": true,
 	}
 	want := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {
@@ -66,35 +81,58 @@ func main() {
 		if !all && !want[name] {
 			return false
 		}
-		fmt.Printf("==== %s ====\n", title)
+		fmt.Fprintf(narrate, "==== %s ====\n", title)
 		return true
 	}
 	timed := func(f func()) {
 		start := time.Now()
 		f()
-		fmt.Printf("(wall %.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Fprintf(narrate, "(wall %.1fs)\n\n", time.Since(start).Seconds())
 	}
 	exitCode := 0
-	// show prints an experiment result, or reports its error and marks
-	// the run failed without aborting the remaining experiments.
-	show := func(v fmt.Stringer, err error) {
+	// show prints an experiment result — its String() rendering, or one
+	// JSON envelope line in -json mode — or reports its error and marks the
+	// run failed without aborting the remaining experiments.
+	show := func(name string, v any, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wow-bench: %v\n", err)
 			exitCode = 1
+			if *jsonOut {
+				line, _ := json.Marshal(map[string]any{
+					"experiment": name, "seed": *seed, "error": err.Error(),
+				})
+				fmt.Println(string(line))
+			}
 			return
 		}
-		fmt.Println(v.String())
+		if *jsonOut {
+			line, merr := json.Marshal(map[string]any{
+				"experiment": name, "seed": *seed, "data": v,
+			})
+			if merr != nil {
+				fmt.Fprintf(os.Stderr, "wow-bench: marshal %s: %v\n", name, merr)
+				exitCode = 1
+				return
+			}
+			fmt.Println(string(line))
+			return
+		}
+		if s, ok := v.(fmt.Stringer); ok {
+			fmt.Println(s.String())
+			return
+		}
+		fmt.Println(v)
 	}
 
 	if section("join", "Join latency (abstract claim)") {
 		timed(func() {
-			fmt.Println(experiments.RunJoinStats(experiments.JoinOpts{Seed: *seed, Trials: *trials * 3}).String())
+			show("join", experiments.RunJoinStats(experiments.JoinOpts{Seed: *seed, Trials: *trials * 3}), nil)
 		})
 	}
 	if section("fig4", "Figure 4: ICMP profiles during node join") {
 		timed(func() {
 			res := experiments.RunFig4(experiments.JoinOpts{Seed: *seed, Trials: *trials})
-			fmt.Println(res.String())
+			show("fig4", res, nil)
 			for _, p := range res.Profiles {
 				writeCSV("fig4-"+p.Scenario.Name+".csv", p.CSV())
 			}
@@ -104,22 +142,27 @@ func main() {
 		timed(func() {
 			p := experiments.RunJoinProfile(experiments.JoinOpts{Seed: *seed, Trials: *trials, Pings: 50},
 				experiments.JoinScenario{Name: "UFL-NWU", ASite: "ufl.edu", BSite: "northwestern.edu"})
-			for i := 0; i < 50; i++ {
-				fmt.Printf("  seq %2d: loss %5.1f%%  rtt %7.1f ms\n", i+1, p.LossPct[i], p.RTTms[i])
+			if *jsonOut {
+				show("fig5", p, nil)
+			} else {
+				for i := 0; i < 50; i++ {
+					fmt.Printf("  seq %2d: loss %5.1f%%  rtt %7.1f ms\n", i+1, p.LossPct[i], p.RTTms[i])
+				}
+				r, s := p.Regimes()
+				fmt.Printf("  regime 1 ends ~seq %d (routable); regime 3 begins ~seq %d (shortcut)\n", r, s)
 			}
-			r, s := p.Regimes()
-			fmt.Printf("  regime 1 ends ~seq %d (routable); regime 3 begins ~seq %d (shortcut)\n", r, s)
 		})
 	}
 	if section("table2", "Table II: ttcp bandwidth") {
 		timed(func() {
-			show(experiments.RunTable2(experiments.Table2Opts{Seed: *seed}))
+			res, err := experiments.RunTable2(experiments.Table2Opts{Seed: *seed})
+			show("table2", res, err)
 		})
 	}
 	if section("fig6", "Figure 6: SCP transfer across server migration") {
 		timed(func() {
 			res, err := experiments.RunFig6(experiments.Fig6Opts{Seed: *seed})
-			show(res, err)
+			show("fig6", res, err)
 			if err == nil {
 				writeCSV("fig6-progress.csv", res.Progress.CSV())
 			}
@@ -127,58 +170,75 @@ func main() {
 	}
 	if section("fig7", "Figure 7: PBS job stream across worker migration") {
 		timed(func() {
-			show(experiments.RunFig7(experiments.Fig7Opts{Seed: *seed}))
+			res, err := experiments.RunFig7(experiments.Fig7Opts{Seed: *seed})
+			show("fig7", res, err)
 		})
 	}
 	if section("fig8", "Figure 8 / §V-D1: MEME batch throughput") {
 		timed(func() {
 			for _, sc := range []bool{true, false} {
-				show(experiments.RunFig8(experiments.Fig8Opts{Seed: *seed, Jobs: *jobs, Shortcuts: sc}))
+				res, err := experiments.RunFig8(experiments.Fig8Opts{Seed: *seed, Jobs: *jobs, Shortcuts: sc})
+				show("fig8", res, err)
 			}
 		})
 	}
 	if section("table3", "Table III: fastDNAml-PVM") {
 		timed(func() {
-			show(experiments.RunTable3(experiments.Table3Opts{Seed: *seed}))
+			res, err := experiments.RunTable3(experiments.Table3Opts{Seed: *seed})
+			show("table3", res, err)
 		})
 	}
 	if section("outage", "§V-C: IPOP kill/restart no-routability window") {
 		timed(func() {
-			show(experiments.RunOutage(experiments.OutageOpts{Seed: *seed}))
+			res, err := experiments.RunOutage(experiments.OutageOpts{Seed: *seed})
+			show("outage", res, err)
 		})
 	}
 	if section("virt", "§V-D1: virtualization overhead") {
 		timed(func() {
-			fmt.Println(experiments.RunVirtOverhead(*seed).String())
+			show("virt", experiments.RunVirtOverhead(*seed), nil)
 		})
 	}
 	if section("resilience", "Resilience: NAT rebinding, churn, live migration") {
 		timed(func() {
-			show(experiments.RunNATRebind(*seed, 3))
-			fmt.Println(experiments.RunChurn(*seed, 0.25).String())
-			show(experiments.RunLiveMigration(*seed))
+			natRes, err := experiments.RunNATRebind(*seed, 3)
+			show("nat-rebind", natRes, err)
+			show("churn", experiments.RunChurn(*seed, 0.25), nil)
+			migRes, err := experiments.RunLiveMigration(*seed)
+			show("live-migration", migRes, err)
 		})
 	}
 	if section("faults", "Fault injection: migration window, partition repair, correlated churn") {
 		timed(func() {
-			show(experiments.RunMigrationOutage(experiments.MigrationOutageOpts{Seed: *seed}))
-			show(experiments.RunPartitionHeal(experiments.PartitionHealOpts{Seed: *seed}))
-			show(experiments.RunCorrelatedChurn(experiments.ChurnWaveOpts{Seed: *seed}))
+			mo, err := experiments.RunMigrationOutage(experiments.MigrationOutageOpts{Seed: *seed})
+			show("migration-outage", mo, err)
+			ph, err := experiments.RunPartitionHeal(experiments.PartitionHealOpts{Seed: *seed})
+			show("partition-heal", ph, err)
+			cc, err := experiments.RunCorrelatedChurn(experiments.ChurnWaveOpts{Seed: *seed})
+			show("correlated-churn", cc, err)
 		})
 	}
 	if section("schedulers", "Middleware comparison: PBS vs Condor") {
 		timed(func() {
-			show(experiments.RunSchedulerComparison(*seed, *jobs/2))
+			res, err := experiments.RunSchedulerComparison(*seed, *jobs/2)
+			show("schedulers", res, err)
 		})
 	}
 	if section("ablations", "Design ablations") {
 		timed(func() {
 			ao := experiments.AblationOpts{Seed: *seed}
-			fmt.Println(experiments.RunFarCountAblation(ao, nil).String())
-			fmt.Println(experiments.RunThresholdAblation(ao, nil).String())
-			fmt.Println(experiments.RunURIOrderAblation(ao, 5).String())
-			fmt.Println(experiments.RunRingSizeAblation(ao, nil, 5).String())
-			show(experiments.RunTransportAblation(ao))
+			show("ablation-farcount", experiments.RunFarCountAblation(ao, nil), nil)
+			show("ablation-threshold", experiments.RunThresholdAblation(ao, nil), nil)
+			show("ablation-uriorder", experiments.RunURIOrderAblation(ao, 5), nil)
+			show("ablation-ringsize", experiments.RunRingSizeAblation(ao, nil, 5), nil)
+			ta, err := experiments.RunTransportAblation(ao)
+			show("ablation-transport", ta, err)
+		})
+	}
+	if section("scale", "Scale harness: 1k-5k-node overlay, routing hot path") {
+		timed(func() {
+			res, err := experiments.RunScale(experiments.ScaleOpts{Seed: *seed, Nodes: *nodes, Packets: *packets})
+			show("scale", res, err)
 		})
 	}
 	os.Exit(exitCode)

@@ -116,13 +116,52 @@ func (a Addr) RingDist(b Addr) Addr {
 	return ccw
 }
 
+// CmpClockwise three-way-compares the clockwise distances from origin o to
+// a and to b — the comparison `o.Clockwise(a).Cmp(o.Clockwise(b))` without
+// materializing either distance. Since (x−o) mod 2^160 wraps exactly when
+// x < o, the distances order by case analysis on which side of o each
+// address sits, with no subtraction at all.
+func (o Addr) CmpClockwise(a, b Addr) int {
+	aWrapped := a.Cmp(o) < 0
+	bWrapped := b.Cmp(o) < 0
+	switch {
+	case aWrapped == bWrapped:
+		return a.Cmp(b)
+	case aWrapped:
+		return 1
+	}
+	return -1
+}
+
+// CmpRingDist three-way-compares the bidirectional ring distances from dst
+// to a and to b — `a.RingDist(dst).Cmp(b.RingDist(dst))` without heap
+// traffic: each distance is computed into a stack value and reduced to its
+// ring minimum by the top-bit test (a clockwise distance ≥ 2^159 means the
+// counter-clockwise direction is shorter, and the two representations sum
+// to 2^160). Greedy routing's inner loop runs on this comparator.
+func (dst Addr) CmpRingDist(a, b Addr) int {
+	da := ringDist(a, dst)
+	db := ringDist(b, dst)
+	return da.Cmp(db)
+}
+
+// ringDist is RingDist with the minimum taken by the top-bit test instead
+// of a second subtraction plus comparison.
+func ringDist(a, dst Addr) Addr {
+	d := subModRing(dst, a)
+	if d[0] >= 0x80 { // d ≥ 2^159: the other way round is no longer
+		d = subModRing(a, dst)
+	}
+	return d
+}
+
 // Between reports whether x lies strictly within the clockwise arc from a
 // to b. The arc from a to a is the whole ring minus a itself.
 func Between(x, a, b Addr) bool {
 	if x == a || x == b {
 		return false
 	}
-	return a.Clockwise(x).Cmp(a.Clockwise(b)) < 0 || a == b
+	return a.CmpClockwise(x, b) < 0 || a == b
 }
 
 // Offset returns a + offset on the ring.

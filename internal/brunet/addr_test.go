@@ -258,3 +258,47 @@ func TestConnTypeStrings(t *testing.T) {
 		t.Error("unknown type")
 	}
 }
+
+// Property: CmpClockwise agrees with materializing both clockwise
+// distances — including the boundary cases where a or b equals the origin.
+func TestQuickCmpClockwiseMatchesMaterialized(t *testing.T) {
+	f := func(ob, ab, bb [AddrBytes]byte, collide uint8) bool {
+		o, a, b := Addr(ob), Addr(ab), Addr(bb)
+		switch collide % 4 { // force the degenerate alignments often
+		case 1:
+			a = o
+		case 2:
+			b = o
+		case 3:
+			b = a
+		}
+		return o.CmpClockwise(a, b) == o.Clockwise(a).Cmp(o.Clockwise(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CmpRingDist agrees with materializing both bidirectional ring
+// distances — including exact matches and antipodal (2^159) alignments.
+func TestQuickCmpRingDistMatchesMaterialized(t *testing.T) {
+	var half Addr
+	half[0] = 0x80
+	f := func(db, ab, bb [AddrBytes]byte, collide uint8) bool {
+		d, a, b := Addr(db), Addr(ab), Addr(bb)
+		switch collide % 5 { // force the boundary alignments often
+		case 1:
+			a = d
+		case 2:
+			b = d
+		case 3:
+			b = a
+		case 4:
+			a = d.Offset(half) // exactly half the ring away
+		}
+		return d.CmpRingDist(a, b) == a.RingDist(d).Cmp(b.RingDist(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

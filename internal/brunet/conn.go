@@ -28,8 +28,9 @@ type Connection struct {
 	URIs []URI
 
 	types     map[ConnType]bool
+	inRing    bool // membership flag for the node's ringIndex
 	lastHeard sim.Time
-	pingTimer *sim.Event
+	pingTimer sim.Timer
 	pingRetry int
 	awaiting  uint64 // outstanding ping seq; 0 = none
 	closed    bool
@@ -117,6 +118,9 @@ func (n *Node) addConnection(peer Addr, ep phys.Endpoint, stream *phys.Stream, u
 		c.addType(t)
 		n.Stats.Inc("conn."+t.String(), 1)
 	}
+	if c.structured() {
+		n.ring.insert(c)
+	}
 	n.notifyConn(c)
 	return c
 }
@@ -158,9 +162,8 @@ func (n *Node) dropConnection(c *Connection, sendClose bool, reason string) {
 	}
 	c.closed = true
 	c.dropReason = reason
-	if c.pingTimer != nil {
-		c.pingTimer.Cancel()
-	}
+	c.pingTimer.Cancel()
+	n.ring.remove(c)
 	delete(n.conns, c.Peer)
 	n.Stats.Inc("conn.dropped."+reason, 1)
 	if sendClose && n.up {
@@ -268,9 +271,7 @@ func (n *Node) fastProbe(c *Connection) {
 	if c.closed || !n.up || c.awaiting != 0 {
 		return // dead already, or a ping round is in flight
 	}
-	if c.pingTimer != nil {
-		c.pingTimer.Cancel()
-	}
+	c.pingTimer.Cancel()
 	c.pingRetry = n.cfg.PingRetries - n.cfg.SuspectRetries
 	if c.pingRetry < 0 {
 		c.pingRetry = 0
@@ -306,8 +307,22 @@ func (n *Node) forwardClose(dead Addr) {
 // nearestConn returns the structured connection whose peer is closest to
 // dst by ring distance, excluding a peer address (no-backtrack). Leaf
 // connections participate only on exact address match, since leaf children
-// are not ring routers.
+// are not ring routers. An exact-match structured connection has ring
+// distance zero and always wins, so both exact-match cases reduce to one
+// map probe; the general case is the ring index's O(log c) search.
+// nearestConnLinear is the brute-force oracle this must agree with.
 func (n *Node) nearestConn(dst Addr, exclude Addr) *Connection {
+	if c, ok := n.conns[dst]; ok && dst != exclude && (c.structured() || c.types[Leaf]) {
+		return c
+	}
+	return n.ring.nearest(dst, exclude)
+}
+
+// nearestConnLinear is the original linear-scan selection, kept as the
+// reference oracle for property tests of the ring index. It must implement
+// the exact same choice: minimal ring distance, ties to the smaller peer
+// address, leaf connections on exact match only.
+func (n *Node) nearestConnLinear(dst Addr, exclude Addr) *Connection {
 	var best *Connection
 	var bestDist Addr
 	for _, c := range n.conns {
@@ -329,8 +344,24 @@ func (n *Node) nearestConn(dst Addr, exclude Addr) *Connection {
 }
 
 // neighborsOnSide returns structured-near peers sorted by clockwise
-// (right=true) or counter-clockwise distance from this node.
+// (right=true) or counter-clockwise distance from this node — a filtered
+// walk of the ring index, already in side order. Callers that need only
+// the first k use nearOnSide/firstOnSide instead of building the full
+// slice. neighborsOnSideLinear is the sort-based oracle.
 func (n *Node) neighborsOnSide(right bool) []*Connection {
+	var out []*Connection
+	n.ring.sideWalk(right, func(c *Connection) bool {
+		if c.Has(StructuredNear) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// neighborsOnSideLinear is the original sort-per-call selection, kept as
+// the reference oracle for property tests of the ring index walks.
+func (n *Node) neighborsOnSideLinear(right bool) []*Connection {
 	conns := n.connsOfType(StructuredNear)
 	sort.Slice(conns, func(i, j int) bool {
 		var di, dj Addr

@@ -21,7 +21,7 @@ type linker struct {
 
 	uriIdx  int
 	attempt int
-	timer   *sim.Event
+	timer   sim.Timer
 	stream  *phys.Stream // active TCP-transport attempt, if any
 	done    bool
 	yielded bool
@@ -99,9 +99,7 @@ func (lk *linker) sendRequest() {
 				if err != nil && !lk.done && lk.stream == st {
 					// Stream failed: try the next URI.
 					lk.stream = nil
-					if lk.timer != nil {
-						lk.timer.Cancel()
-					}
+					lk.timer.Cancel()
 					lk.uriIdx++
 					lk.attempt = 0
 					lk.sendRequest()
@@ -151,9 +149,7 @@ func (lk *linker) finish(ok bool) {
 		return
 	}
 	lk.done = true
-	if lk.timer != nil {
-		lk.timer.Cancel()
-	}
+	lk.timer.Cancel()
 	if !ok {
 		lk.abandonStream()
 	}
@@ -281,9 +277,7 @@ func (n *Node) handleLinkError(rep linkError) {
 		return
 	}
 	// Wrong target: this URI reaches somebody else now; try the next.
-	if lk.timer != nil {
-		lk.timer.Cancel()
-	}
+	lk.timer.Cancel()
 	lk.abandonStream()
 	lk.uriIdx++
 	lk.attempt = 0

@@ -193,6 +193,7 @@ type Node struct {
 	up   bool
 
 	conns     map[Addr]*Connection
+	ring      ringIndex
 	linkers   map[Addr]*linker
 	busyRetry map[Addr]int
 	learned   uriSet
@@ -216,13 +217,22 @@ type Node struct {
 	// Stats counts protocol events (link attempts, routed packets,
 	// shortcut formations, …).
 	Stats metrics.Counter
+
+	// Pre-resolved Stats handles for the per-packet routing path, where a
+	// map lookup per counter bump is measurable at scale.
+	statForwarded      metrics.Handle
+	statDelivered      metrics.Handle
+	statHopsExceeded   metrics.Handle
+	statDeadLetter     metrics.Handle
+	statNoProto        metrics.Handle
+	statUnknownOverlay metrics.Handle
 }
 
 // NewNode creates a node with the given overlay address on a physical
 // host. Call Start to bind the socket and join the overlay.
 func NewNode(host *phys.Host, addr Addr, cfg Config) *Node {
 	cfg.fillDefaults()
-	return &Node{
+	n := &Node{
 		addr:      addr,
 		host:      host,
 		sim:       host.Sim(),
@@ -232,6 +242,14 @@ func NewNode(host *phys.Host, addr Addr, cfg Config) *Node {
 		busyRetry: make(map[Addr]int),
 		handlers:  make(map[string]func(src Addr, d AppData)),
 	}
+	n.ring.reset(addr)
+	n.statForwarded = n.Stats.Handle("route.forwarded")
+	n.statDelivered = n.Stats.Handle("route.delivered")
+	n.statHopsExceeded = n.Stats.Handle("route.hops_exceeded")
+	n.statDeadLetter = n.Stats.Handle("route.dead_letter")
+	n.statNoProto = n.Stats.Handle("recv.noproto")
+	n.statUnknownOverlay = n.Stats.Handle("recv.unknown_overlay")
+	return n
 }
 
 // Addr returns the node's 160-bit overlay address.
@@ -383,15 +401,14 @@ func (n *Node) Stop() {
 		lk.finish(false)
 	}
 	for _, c := range n.Connections() {
-		if c.pingTimer != nil {
-			c.pingTimer.Cancel()
-		}
+		c.pingTimer.Cancel()
 		c.closed = true
 		if c.Stream != nil {
 			c.Stream.Close()
 		}
 		delete(n.conns, c.Peer)
 	}
+	n.ring.reset(n.addr)
 	n.sock.Close()
 	if n.slisten != nil {
 		n.slisten.Close()
@@ -598,18 +615,17 @@ func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 		return
 	}
 	if pkt.Hops >= pkt.MaxHops {
-		n.Stats.Inc("route.hops_exceeded", 1)
+		n.statHopsExceeded.Inc(1)
 		return
 	}
 	best := n.nearestConn(pkt.Dst, from)
-	selfDist := n.addr.RingDist(pkt.Dst)
-	if best == nil || (best.Peer != pkt.Dst && best.Peer.RingDist(pkt.Dst).Cmp(selfDist) >= 0) {
+	if best == nil || (best.Peer != pkt.Dst && pkt.Dst.CmpRingDist(best.Peer, n.addr) >= 0) {
 		// Nobody closer: we are the nearest live node.
 		n.deliver(pkt)
 		return
 	}
 	pkt.Hops++
-	n.Stats.Inc("route.forwarded", 1)
+	n.statForwarded.Inc(1)
 	n.sendConn(best, pkt.Size, pkt)
 }
 
@@ -620,7 +636,7 @@ func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 func (n *Node) deliver(pkt *OverlayPacket) {
 	exact := pkt.Dst == n.addr
 	if !exact && pkt.Mode == DeliverExact {
-		n.Stats.Inc("route.dead_letter", 1)
+		n.statDeadLetter.Inc(1)
 		return
 	}
 	switch m := pkt.Payload.(type) {
@@ -631,17 +647,17 @@ func (n *Node) deliver(pkt *OverlayPacket) {
 	case forwarded:
 		n.handleForwarded(m)
 	case AppData:
-		n.Stats.Inc("route.delivered", 1)
+		n.statDelivered.Inc(1)
 		if n.sco != nil {
 			n.sco.observe(pkt.Src, 1)
 		}
 		if h, ok := n.handlers[m.Proto]; ok {
 			h(pkt.Src, m)
 		} else {
-			n.Stats.Inc("recv.noproto", 1)
+			n.statNoProto.Inc(1)
 		}
 	default:
-		n.Stats.Inc("recv.unknown_overlay", 1)
+		n.statUnknownOverlay.Inc(1)
 	}
 }
 
@@ -721,17 +737,10 @@ func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) 
 // side of address x from this node, i.e. the other future neighbor of a
 // node joining at x.
 func (n *Node) neighborAcross(x Addr) *Connection {
-	if n.addr.Clockwise(x).Cmp(x.Clockwise(n.addr)) < 0 {
-		// x is on our right: its other neighbor is our closest right.
-		for _, c := range n.neighborsOnSide(true) {
-			return c
-		}
-	} else {
-		for _, c := range n.neighborsOnSide(false) {
-			return c
-		}
-	}
-	return nil
+	// x is on our right when its clockwise distance is the shorter one;
+	// its other neighbor is then our closest right neighbor.
+	right := n.addr.Clockwise(x).Cmp(x.Clockwise(n.addr)) < 0
+	return n.firstOnSide(right)
 }
 
 // handleCTMReply starts initiator-side linking.

@@ -149,7 +149,7 @@ func (o *nearOverlord) wanted(w Addr) bool {
 	n := o.node
 	k := n.cfg.NearPerSide
 	right := n.addr.Clockwise(w).Cmp(w.Clockwise(n.addr)) < 0
-	side := n.neighborsOnSide(right)
+	side := n.nearOnSide(right, k)
 	if len(side) < k {
 		return true
 	}
@@ -166,16 +166,10 @@ func (o *nearOverlord) trim() {
 	n := o.node
 	k := n.cfg.NearPerSide
 	keep := make(map[Addr]bool)
-	for i, c := range n.neighborsOnSide(true) {
-		if i >= k {
-			break
-		}
+	for _, c := range n.nearOnSide(true, k) {
 		keep[c.Peer] = true
 	}
-	for i, c := range n.neighborsOnSide(false) {
-		if i >= k {
-			break
-		}
+	for _, c := range n.nearOnSide(false, k) {
 		keep[c.Peer] = true
 	}
 	for _, c := range n.connsOfType(StructuredNear) {
@@ -183,9 +177,7 @@ func (o *nearOverlord) trim() {
 			continue
 		}
 		n.Stats.Inc("near.trimmed", 1)
-		if !c.dropType(StructuredNear) {
-			n.dropConnection(c, true, "trim")
-		}
+		n.dropConnRole(c, StructuredNear, "trim")
 	}
 }
 
@@ -306,9 +298,7 @@ func (o *shortcutOverlord) tick() {
 			}
 			if c != nil && c.Has(Shortcut) && now.Sub(o.zeroSince[peer]) >= o.cfg.IdleDrop {
 				n.Stats.Inc("shortcut.idle_dropped", 1)
-				if !c.dropType(Shortcut) {
-					n.dropConnection(c, true, "idle")
-				}
+				n.dropConnRole(c, Shortcut, "idle")
 			}
 			if c == nil || !c.Has(Shortcut) {
 				if now.Sub(o.zeroSince[peer]) >= o.cfg.IdleDrop {

@@ -24,7 +24,7 @@ type relinkState struct {
 	uris    []URI
 	ctype   ConnType
 	attempt int
-	ev      *sim.Event
+	ev      sim.Timer
 }
 
 // relinkReasons are the involuntary drop reasons eligible for repair.

@@ -1,0 +1,229 @@
+package brunet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// ringTestNode builds a bare node (never started) whose connection table
+// can be churned directly — the unit under test is the ring index's
+// agreement with the linear-scan oracles, not the linking protocol.
+func ringTestNode(seed int64) *Node {
+	s := sim.New(seed)
+	net := phys.NewNetwork(s, phys.UniformLatency(phys.PathModel{}, phys.PathModel{}))
+	site := net.AddSite("t")
+	h := net.AddHost("t0", site, net.Root(), phys.HostConfig{})
+	return NewNode(h, AddrFromString("ring-test-origin"), Config{})
+}
+
+var churnTypes = []ConnType{StructuredNear, StructuredFar, Shortcut, Leaf}
+
+// applyChurn drives the connection table through a scripted sequence of
+// adds, role-drops and full drops derived from ops, returning the node.
+// Addresses are drawn from a small deterministic universe so drops hit
+// existing connections and role mixes accumulate on single peers.
+func applyChurn(seed int64, ops []uint32) *Node {
+	n := ringTestNode(seed)
+	universe := make([]Addr, 24)
+	for i := range universe {
+		universe[i] = RandomAddr(rand.New(rand.NewSource(seed + int64(i))))
+	}
+	ep := phys.Endpoint{IP: 1, Port: 1}
+	for _, op := range ops {
+		peer := universe[int(op>>8)%len(universe)]
+		typ := churnTypes[int(op>>16)%len(churnTypes)]
+		switch op % 4 {
+		case 0, 1: // add (twice as likely: tables should be non-trivial)
+			n.addConnection(peer, ep, nil, nil, typ)
+		case 2: // drop one role, connection may survive
+			if c, ok := n.conns[peer]; ok && c.Has(typ) {
+				n.dropConnRole(c, typ, "test")
+			}
+		case 3: // drop the whole connection
+			if c, ok := n.conns[peer]; ok {
+				n.dropConnection(c, false, "test")
+			}
+		}
+	}
+	return n
+}
+
+// Property: after arbitrary churn, the indexed nearestConn agrees with the
+// brute-force linear oracle for every destination and exclusion choice.
+func TestQuickNearestConnMatchesOracle(t *testing.T) {
+	f := func(ops []uint32, dstSel, exSel uint16) bool {
+		n := applyChurn(11, ops)
+		rng := rand.New(rand.NewSource(int64(dstSel)))
+		for trial := 0; trial < 8; trial++ {
+			var dst Addr
+			if trial%2 == 0 && len(n.ring.conns) > 0 {
+				// Half the probes aim at a connected peer: the
+				// exact-match and exclusion paths must agree too.
+				dst = n.ring.conns[int(dstSel)%len(n.ring.conns)].Peer
+			} else {
+				dst = RandomAddr(rng)
+			}
+			exclude := Addr{}
+			if trial%3 == 0 && len(n.ring.conns) > 0 {
+				exclude = n.ring.conns[int(exSel)%len(n.ring.conns)].Peer
+			}
+			if n.nearestConn(dst, exclude) != n.nearestConnLinear(dst, exclude) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ring-walk neighborsOnSide returns the same connections in
+// the same order as the sort-per-call oracle, on both sides.
+func TestQuickNeighborsOnSideMatchesOracle(t *testing.T) {
+	f := func(ops []uint32) bool {
+		n := applyChurn(23, ops)
+		for _, right := range []bool{true, false} {
+			got := n.neighborsOnSide(right)
+			want := n.neighborsOnSideLinear(right)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			// nearOnSide must be a prefix of the full side walk, and
+			// firstOnSide its head.
+			for _, k := range []int{1, 2, 3} {
+				pre := n.nearOnSide(right, k)
+				if len(pre) > k || len(pre) > len(want) {
+					return false
+				}
+				for i := range pre {
+					if pre[i] != want[i] {
+						return false
+					}
+				}
+			}
+			first := n.firstOnSide(right)
+			if len(want) == 0 && first != nil {
+				return false
+			}
+			if len(want) > 0 && first != want[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the index slice itself stays sorted and mirrors exactly the
+// structured subset of the connection table through churn.
+func TestQuickRingIndexInvariants(t *testing.T) {
+	f := func(ops []uint32) bool {
+		n := applyChurn(31, ops)
+		structured := 0
+		for _, c := range n.conns {
+			if c.structured() {
+				structured++
+				if !c.inRing {
+					return false
+				}
+			} else if c.inRing {
+				return false
+			}
+		}
+		if len(n.ring.conns) != structured {
+			return false
+		}
+		for i := 1; i < len(n.ring.conns); i++ {
+			if n.addr.CmpClockwise(n.ring.conns[i-1].Peer, n.ring.conns[i].Peer) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildZeroLatencyRing converges a small overlay on a zero-latency fabric:
+// with no propagation delay a packet's entire multi-hop route drains within
+// RunUntil(Now()), so the clock never advances and no keepalive or gossip
+// timer can interleave with a measurement (the scale harness uses the same
+// trick).
+func buildZeroLatencyRing(t *testing.T, seed int64, count int) (*sim.Simulator, []*Node) {
+	t.Helper()
+	s := sim.New(seed)
+	net := phys.NewNetwork(s, phys.UniformLatency(phys.PathModel{}, phys.PathModel{}))
+	site := net.AddSite("z")
+	cfg := FastTestConfig()
+	var nodes []*Node
+	for i := 0; i < count; i++ {
+		name := "zring" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		h := net.AddHost(name, site, net.Root(), phys.HostConfig{})
+		n := NewNode(h, AddrFromString(name), cfg)
+		var boot []URI
+		if len(nodes) > 0 {
+			boot = []URI{nodes[0].BootstrapURI()}
+		}
+		if err := n.Start(boot); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		nodes = append(nodes, n)
+		s.RunFor(2 * sim.Second)
+	}
+	s.RunFor(60 * sim.Second)
+	return s, nodes
+}
+
+// TestAllocFreeForwarding is the hot-path allocation guard: with the
+// virtual clock frozen, routing a pre-built overlay packet through a
+// converged ring — socket send, propagation event, CPU event, per-hop
+// greedy forwarding, final delivery — must not allocate at all in steady
+// state. Event and packet pools absorb the per-hop objects; only packet
+// origination (SendTo) may allocate, and it is excluded here on purpose.
+func TestAllocFreeForwarding(t *testing.T) {
+	s, nodes := buildZeroLatencyRing(t, 7, 12)
+	src, dst := nodes[2], nodes[9]
+	pkt := &OverlayPacket{Payload: AppData{Proto: "allocguard", Size: 64}}
+	delivered := 0
+	dst.RegisterProto("allocguard", func(Addr, AppData) { delivered++ })
+	route := func() {
+		pkt.Src = src.Addr()
+		pkt.Dst = dst.Addr()
+		pkt.Mode = DeliverExact
+		pkt.Hops = 0
+		pkt.MaxHops = src.cfg.MaxHops
+		pkt.Size = overlayHdrSize + 64
+		src.routePacket(pkt, src.Addr())
+		s.RunUntil(s.Now())
+	}
+	// Warm the pools and any lazily grown heap/slice capacity.
+	for i := 0; i < 64; i++ {
+		route()
+	}
+	if delivered == 0 {
+		t.Fatal("warmup packets never delivered; measurement would be vacuous")
+	}
+	avg := testing.AllocsPerRun(200, route)
+	if raceEnabled {
+		// The race detector instruments allocations; record but don't
+		// assert.
+		t.Logf("allocs/packet under -race: %.2f (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("allocs per forwarded packet = %.2f, want 0", avg)
+	}
+}

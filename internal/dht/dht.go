@@ -63,7 +63,7 @@ type entry struct {
 }
 
 type pending struct {
-	timeout *sim.Event
+	timeout sim.Timer
 	onPut   func(ok bool)
 	onGet   func(members []string, found bool)
 }

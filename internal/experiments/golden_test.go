@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The golden-seed tests pin complete experiment summaries, byte for byte,
+// to values captured before the hot-path overhaul (ring-indexed routing,
+// comparator address math, pooled sim events and packets). Experiment
+// outputs are pure functions of the seed, so any drift here means a
+// routing or scheduling decision changed — the refactor contract is that
+// none did. The expected values live inline (not in a golden file) so a
+// diff shows exactly which protocol outcome moved.
+
+const goldenFig8Seed5 = "Figure 8 / §V-D1: 120 PBS/MEME jobs, shortcuts enabled\n" +
+	"  wall-clock time: 146 s; throughput 49.2 jobs/minute\n" +
+	"  job wall time: mean 26.9 s, std 5.9 s (failed: 0)\n" +
+	"  execution-time histogram:\n" +
+	"       8 s:   0.0% \n" +
+	"      24 s:  93.3% ###########################################################################\n" +
+	"      40 s:   4.2% ###\n" +
+	"      56 s:   2.5% ##\n" +
+	"      72 s:   0.0% \n" +
+	"      88 s:   0.0% \n" +
+	"  job share by node: node032=1.7% node033=3.3% node034=1.7%\n"
+
+const goldenPartitionHealSeed5 = "Partition repair: 180 s site cut (NWU + half of PlanetLab vs rest)\n" +
+	"  cut confirmed mid-window: true\n" +
+	"  all probe pairs recovered: true\n" +
+	"partition-heal           recovery: 396.0s\n" +
+	"  ping.dead              362\n" +
+	"  ping.stale             2\n" +
+	"  ping.fast_probe        0\n" +
+	"  close.forwarded        2609\n" +
+	"  handoff.sent           0\n" +
+	"  handoff.received       0\n" +
+	"  handoff.linked         0\n" +
+	"  relink.attempts        1186\n" +
+	"  relink.success         261\n" +
+	"  relink.giveup          0\n" +
+	"  link.giveup            117\n" +
+	"  fault timeline:\n" +
+	"    t=429.000s partition begin\n" +
+	"    t=609.000s partition end\n"
+
+// diffLine locates the first line where got and want diverge, for a
+// readable failure message.
+func diffLine(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return "outputs differ in length"
+}
+
+func TestGoldenSeedFig8(t *testing.T) {
+	res, err := RunFig8(Fig8Opts{Seed: 5, Jobs: 120, Routers: 40, PlanetLabHosts: 8, Shortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != goldenFig8Seed5 {
+		t.Errorf("fig8 seed-5 summary drifted from pre-refactor baseline; %s\nfull output:\n%s",
+			diffLine(got, goldenFig8Seed5), got)
+	}
+}
+
+func TestGoldenSeedPartitionHeal(t *testing.T) {
+	res, err := RunPartitionHeal(PartitionHealOpts{Seed: 5, Routers: 30, PlanetLabHosts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != goldenPartitionHealSeed5 {
+		t.Errorf("partition-heal seed-5 summary drifted from pre-refactor baseline; %s\nfull output:\n%s",
+			diffLine(got, goldenPartitionHealSeed5), got)
+	}
+}
+
+// TestRunScale exercises the scale harness end to end at a size small
+// enough for the unit-test budget: the overlay must fully converge and
+// deliver every measured packet.
+func TestRunScale(t *testing.T) {
+	res, err := RunScale(ScaleOpts{Seed: 3, Nodes: 300, Packets: 300, Sites: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutableFrac != 1 {
+		t.Errorf("routable fraction = %.3f, want 1.0", res.RoutableFrac)
+	}
+	if res.Delivered != res.PacketsSent {
+		t.Errorf("delivered %d of %d packets", res.Delivered, res.PacketsSent)
+	}
+	if res.AvgHops <= 1 {
+		t.Errorf("avg hops = %.2f, want multi-hop routes", res.AvgHops)
+	}
+	if !strings.Contains(res.String(), "300-node overlay") {
+		t.Errorf("summary missing node count:\n%s", res)
+	}
+}

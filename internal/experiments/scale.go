@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"wow/internal/brunet"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// ScaleOpts parameterizes the scale harness: how many routers to stand up,
+// how many end-to-end packets to route through the converged overlay, and
+// the join pacing. Zero fields take the defaults below.
+type ScaleOpts struct {
+	Seed int64
+	// Nodes is the overlay size; the harness targets the 1,000–5,000
+	// range the Brunet ring was designed for (well beyond the paper's
+	// 33+118-node testbed).
+	Nodes int
+	// Packets is how many end-to-end packets the measurement phase routes
+	// between random node pairs.
+	Packets int
+	// Sites spreads hosts round-robin over this many network sites.
+	Sites int
+	// JoinSpacing staggers node starts.
+	JoinSpacing sim.Duration
+	// Settle is the convergence time granted after the last join.
+	Settle sim.Duration
+}
+
+func (o *ScaleOpts) fillDefaults() {
+	if o.Nodes == 0 {
+		o.Nodes = 2000
+	}
+	if o.Packets == 0 {
+		o.Packets = 2000
+	}
+	if o.Sites == 0 {
+		o.Sites = 32
+	}
+	if o.JoinSpacing == 0 {
+		o.JoinSpacing = 100 * sim.Millisecond
+	}
+	if o.Settle == 0 {
+		o.Settle = 2 * sim.Minute
+	}
+}
+
+// ScaleOverlay is a converged large overlay ready for routing
+// measurements. The physical fabric is zero-latency on purpose: with no
+// propagation delay a packet's whole multi-hop route executes within
+// RunUntil(Now()) — the clock never advances, no keepalive or gossip timer
+// can interleave, and the measurement isolates the CPU cost of the routing
+// hot path itself.
+type ScaleOverlay struct {
+	Sim   *sim.Simulator
+	Net   *phys.Network
+	Nodes []*brunet.Node
+	// Delivered counts end-to-end "scale" payloads received by any node.
+	Delivered int
+}
+
+// BuildScaleOverlay stands up opts.Nodes bare Brunet routers (no IPOP/VM
+// layers — this harness weighs the overlay, not the guests) and lets the
+// ring converge. Joins bootstrap off a pool of the 16 earliest nodes so
+// leaf-connection load spreads instead of piling onto one founder.
+func BuildScaleOverlay(opts ScaleOpts) (*ScaleOverlay, error) {
+	opts.fillDefaults()
+	s := sim.New(opts.Seed)
+	net := phys.NewNetwork(s, phys.UniformLatency(phys.PathModel{}, phys.PathModel{}))
+	sites := make([]*phys.Site, opts.Sites)
+	for i := range sites {
+		sites[i] = net.AddSite(fmt.Sprintf("site%02d", i))
+	}
+	ov := &ScaleOverlay{Sim: s, Net: net}
+
+	// Paper-default protocol constants, shortcuts disabled: the harness
+	// measures pure ring routing (near + far connections), not the
+	// traffic-adaptive topology.
+	cfg := brunet.Config{}
+	var pool []brunet.URI
+	for i := 0; i < opts.Nodes; i++ {
+		name := fmt.Sprintf("scale%05d", i)
+		h := net.AddHost(name, sites[i%len(sites)], net.Root(), phys.HostConfig{})
+		n := brunet.NewNode(h, brunet.AddrFromString(name), cfg)
+		var boot []brunet.URI
+		if p := len(pool); p > 0 {
+			boot = []brunet.URI{pool[i%p], pool[(i+7)%p], pool[(i+13)%p]}
+		}
+		if err := n.Start(boot); err != nil {
+			return nil, fmt.Errorf("scale: start %s: %w", name, err)
+		}
+		n.RegisterProto("scale", func(src brunet.Addr, d brunet.AppData) { ov.Delivered++ })
+		if len(pool) < 16 {
+			pool = append(pool, n.BootstrapURI())
+		}
+		ov.Nodes = append(ov.Nodes, n)
+		s.RunFor(opts.JoinSpacing)
+	}
+	s.RunFor(opts.Settle)
+	return ov, nil
+}
+
+// Pair returns a deterministic pseudo-random (src, dst) node pair for
+// measurement iteration i.
+func (ov *ScaleOverlay) Pair(i int) (src, dst *brunet.Node) {
+	n := len(ov.Nodes)
+	a := int(uint32(i) * 2654435761 % uint32(n))
+	b := int((uint32(i)*40503 + 2654435769) % uint32(n))
+	if a == b {
+		b = (b + 1) % n
+	}
+	return ov.Nodes[a], ov.Nodes[b]
+}
+
+// RouteOne routes one end-to-end packet from src toward dst's address and
+// drains every event at the frozen simulation instant, so the full
+// multi-hop route (and nothing else) executes before it returns.
+func (ov *ScaleOverlay) RouteOne(src, dst *brunet.Node) {
+	src.SendTo(dst.Addr(), brunet.DeliverExact, brunet.AppData{Proto: "scale", Size: 64})
+	ov.Sim.RunUntil(ov.Sim.Now())
+}
+
+// RoutableFrac reports the fraction of nodes that are fully routable.
+func (ov *ScaleOverlay) RoutableFrac() float64 {
+	routable := 0
+	for _, n := range ov.Nodes {
+		if n.IsRoutable() {
+			routable++
+		}
+	}
+	return float64(routable) / float64(len(ov.Nodes))
+}
+
+// ForwardedTotal sums route.forwarded over the fleet.
+func (ov *ScaleOverlay) ForwardedTotal() int64 {
+	var total int64
+	for _, n := range ov.Nodes {
+		total += n.Stats.Get("route.forwarded")
+	}
+	return total
+}
+
+// ScaleResult summarizes one scale-harness run. Protocol outcomes
+// (delivered counts, hops, routability) are seed-deterministic; the
+// wall-clock and allocation figures measure this machine's execution of
+// the run.
+type ScaleResult struct {
+	Seed          int64
+	Nodes, Sites  int
+	RoutableFrac  float64
+	BuildWallSec  float64
+	JoinsPerSec   float64
+	PacketsSent   int
+	Delivered     int
+	AvgHops       float64
+	RouteWallSec  float64
+	RoutedPerSec  float64
+	NsPerPacket   float64
+	AllocsPerOp   float64
+	EventsTotal   uint64
+	SettleSeconds float64
+}
+
+// String renders the harness summary.
+func (r *ScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale harness: %d-node overlay over %d sites, seed %d\n", r.Nodes, r.Sites, r.Seed)
+	fmt.Fprintf(&b, "  build: %.1f s wall (%.0f joins/s), routable %.1f%%\n",
+		r.BuildWallSec, r.JoinsPerSec, r.RoutableFrac*100)
+	fmt.Fprintf(&b, "  routing: %d/%d packets delivered, avg %.1f hops\n",
+		r.Delivered, r.PacketsSent, r.AvgHops)
+	fmt.Fprintf(&b, "  hot path: %.0f ns/packet, %.1f allocs/packet, %.0f packets/s wall\n",
+		r.NsPerPacket, r.AllocsPerOp, r.RoutedPerSec)
+	fmt.Fprintf(&b, "  events processed: %d\n", r.EventsTotal)
+	return b.String()
+}
+
+// RunScale builds a 1k–5k-node overlay and measures the routing hot path:
+// joins/sec during the build, then ns/op and allocs/op per end-to-end
+// routed packet with the virtual clock frozen (see ScaleOverlay).
+func RunScale(opts ScaleOpts) (*ScaleResult, error) {
+	opts.fillDefaults()
+	t0 := time.Now()
+	ov, err := BuildScaleOverlay(opts)
+	if err != nil {
+		return nil, err
+	}
+	buildWall := time.Since(t0).Seconds()
+
+	res := &ScaleResult{
+		Seed:          opts.Seed,
+		Nodes:         opts.Nodes,
+		Sites:         opts.Sites,
+		RoutableFrac:  ov.RoutableFrac(),
+		BuildWallSec:  buildWall,
+		JoinsPerSec:   float64(opts.Nodes) / buildWall,
+		PacketsSent:   opts.Packets,
+		SettleSeconds: opts.Settle.Seconds(),
+	}
+
+	fwd0 := ov.ForwardedTotal()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t1 := time.Now()
+	for i := 0; i < opts.Packets; i++ {
+		src, dst := ov.Pair(i)
+		ov.RouteOne(src, dst)
+	}
+	routeWall := time.Since(t1).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	res.Delivered = ov.Delivered
+	res.RouteWallSec = routeWall
+	if routeWall > 0 {
+		res.RoutedPerSec = float64(opts.Packets) / routeWall
+	}
+	res.NsPerPacket = routeWall * 1e9 / float64(opts.Packets)
+	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(opts.Packets)
+	if res.Delivered > 0 {
+		res.AvgHops = float64(ov.ForwardedTotal()-fwd0) / float64(res.Delivered)
+	}
+	res.EventsTotal = ov.Sim.Processed
+	return res, nil
+}

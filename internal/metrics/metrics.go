@@ -177,13 +177,50 @@ func (s *Series) CSV() string {
 }
 
 // Counter accumulates named integer counts; handy for protocol statistics
-// (packets routed, retries, hole punches, …).
+// (packets routed, retries, hole punches, …). Hot paths that cannot afford
+// a map lookup per increment resolve a Handle once and bump it directly;
+// both forms feed the same name-keyed view.
 type Counter struct {
-	m map[string]int64
+	m     map[string]int64
+	cells map[string]*int64
+}
+
+// Handle is a pre-resolved counter cell: Inc on it is a single pointer
+// write, with no string hashing or map probe — the form packet-routing hot
+// paths use. The zero Handle is inert and discards increments, so an
+// unresolved handle field needs no nil check.
+type Handle struct {
+	v *int64
+}
+
+// Inc adds delta to the handle's cell.
+func (h Handle) Inc(delta int64) {
+	if h.v != nil {
+		*h.v += delta
+	}
+}
+
+// Handle resolves the named count to a direct cell, creating it if
+// necessary. Resolving registers the name: it appears in Names and String
+// even while still zero. Repeated resolutions of one name share a cell.
+func (c *Counter) Handle(name string) Handle {
+	if c.cells == nil {
+		c.cells = make(map[string]*int64)
+	}
+	cell, ok := c.cells[name]
+	if !ok {
+		cell = new(int64)
+		c.cells[name] = cell
+	}
+	return Handle{v: cell}
 }
 
 // Inc adds delta to the named count.
 func (c *Counter) Inc(name string, delta int64) {
+	if cell, ok := c.cells[name]; ok {
+		*cell += delta
+		return
+	}
 	if c.m == nil {
 		c.m = make(map[string]int64)
 	}
@@ -191,13 +228,24 @@ func (c *Counter) Inc(name string, delta int64) {
 }
 
 // Get returns the named count (0 when never incremented).
-func (c *Counter) Get(name string) int64 { return c.m[name] }
+func (c *Counter) Get(name string) int64 {
+	if cell, ok := c.cells[name]; ok {
+		return c.m[name] + *cell
+	}
+	return c.m[name]
+}
 
-// Names returns all counter names in sorted order.
+// Names returns all counter names in sorted order, including names that
+// have been resolved to handles but not yet incremented.
 func (c *Counter) Names() []string {
-	out := make([]string, 0, len(c.m))
+	out := make([]string, 0, len(c.m)+len(c.cells))
 	for k := range c.m {
 		out = append(out, k)
+	}
+	for k := range c.cells {
+		if _, dup := c.m[k]; !dup {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -210,16 +258,20 @@ func (c *Counter) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+		fmt.Fprintf(&b, "%s=%d", n, c.Get(n))
 	}
 	return b.String()
 }
 
 // Merge adds every count from other into c — how experiments aggregate
-// per-node protocol counters into one fleet-wide view.
+// per-node protocol counters into one fleet-wide view. Iteration order
+// doesn't matter here: Merge only ever adds into c's own cells.
 func (c *Counter) Merge(other *Counter) {
 	for name, v := range other.m {
 		c.Inc(name, v)
+	}
+	for name, cell := range other.cells {
+		c.Inc(name, *cell)
 	}
 }
 

@@ -90,21 +90,31 @@ func (h *Host) receive(p *Packet) {
 	}
 	done := start.Add(svc)
 	h.cpuBusyUntil = done
-	h.net.Sim.At(done, func() {
-		if !h.up {
-			h.net.drop("lost.hostdown", p)
-			return
-		}
-		sock, ok := h.socks[wirePortKey{p.Proto, p.Dst.Port}]
-		if !ok || sock.closed {
-			h.net.drop("lost.noport", p)
-			return
-		}
-		h.net.Stats.Inc("delivered", 1)
-		if sock.OnRecv != nil {
-			sock.OnRecv(p)
-		}
-	})
+	h.net.Sim.AtArg(done, finishReceive, p)
+}
+
+// finishReceive is the CPU-service-done callback: package-level so AtArg
+// schedules it without a closure allocation per packet. The destination
+// host rides in the packet (set by Network.send). The packet returns to
+// the pool when the socket's handler returns, so handlers must not retain
+// it (see Packet).
+func finishReceive(a any) {
+	p := a.(*Packet)
+	h := p.dest
+	if !h.up {
+		h.net.drop("lost.hostdown", p)
+		return
+	}
+	sock, ok := h.socks[wirePortKey{p.Proto, p.Dst.Port}]
+	if !ok || sock.closed {
+		h.net.drop("lost.noport", p)
+		return
+	}
+	h.net.statDelivered.Inc(1)
+	if sock.OnRecv != nil {
+		sock.OnRecv(p)
+	}
+	h.net.releasePacket(p)
 }
 
 // UDPSock is a bound wire socket on a host. Despite the name it serves
@@ -169,7 +179,8 @@ func (s *UDPSock) Send(dst Endpoint, size int, payload any) {
 	if s.closed || !s.host.up {
 		return
 	}
-	p := &Packet{Src: s.LocalEndpoint(), Dst: dst, Proto: s.proto, Size: size, Payload: payload}
+	p := s.host.net.acquirePacket()
+	p.Src, p.Dst, p.Proto, p.Size, p.Payload = s.LocalEndpoint(), dst, s.proto, size, payload
 	s.host.net.send(s.host, p)
 }
 

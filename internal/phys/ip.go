@@ -77,10 +77,22 @@ const (
 // rewritten in place by NAT middleboxes as the packet traverses realm
 // boundaries, exactly as real NATs rewrite headers. A zero Proto is
 // normalized to WireUDP on send.
+//
+// Packets are pooled by the Network: one is acquired per UDPSock.Send and
+// released after its delivery callback (or drop hook) returns. Receive
+// handlers must therefore not retain *Packet past the OnRecv call — copy
+// the fields (they are values) or the Packet itself if needed later.
 type Packet struct {
 	Src     Endpoint
 	Dst     Endpoint
 	Proto   uint8
 	Size    int
 	Payload any
+
+	// dest is the delivering host, resolved by routing; it rides in the
+	// packet so delivery events can be scheduled through sim.AtArg with
+	// package-level callbacks — no per-packet closure allocations.
+	dest *Host
+	// nextFree links the Network's packet free list.
+	nextFree *Packet
 }

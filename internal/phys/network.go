@@ -125,16 +125,44 @@ type Network struct {
 	root       *Realm
 	hosts      []*Host
 	nextConnID uint64
+	freePkt    *Packet
+
+	// statDelivered is the pre-resolved "delivered" cell, bumped once per
+	// packet on the delivery hot path.
+	statDelivered metrics.Handle
+}
+
+// acquirePacket takes a packet from the free list, or allocates one.
+func (n *Network) acquirePacket() *Packet {
+	p := n.freePkt
+	if p != nil {
+		n.freePkt = p.nextFree
+		p.nextFree = nil
+		return p
+	}
+	return &Packet{}
+}
+
+// releasePacket retires a packet to the free list once its delivery (or
+// drop) callback has returned. Payload and dest are cleared so the pool
+// never pins payload objects or hosts.
+func (n *Network) releasePacket(p *Packet) {
+	p.Payload = nil
+	p.dest = nil
+	p.nextFree = n.freePkt
+	n.freePkt = p
 }
 
 // NewNetwork creates a network with the given latency model. The root
 // (public) realm allocates IPs starting at 128.0.0.1.
 func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
-	return &Network{
+	n := &Network{
 		Sim:     s,
 		Latency: latency,
 		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
 	}
+	n.statDelivered = n.Stats.Handle("delivered")
+	return n
 }
 
 // Root returns the public Internet realm.
@@ -293,15 +321,26 @@ func (n *Network) send(src *Host, p *Packet) {
 	}
 
 	arrive := depart.Add(prop)
-	n.Sim.At(arrive, func() { dst.receive(p) })
+	p.dest = dst
+	n.Sim.AtArg(arrive, deliverPacket, p)
 }
 
-// drop records a packet loss and notifies the diagnostics hook.
+// deliverPacket is the propagation-done callback: package-level so AtArg
+// schedules it without a closure allocation per packet.
+func deliverPacket(a any) {
+	p := a.(*Packet)
+	p.dest.receive(p)
+}
+
+// drop records a packet loss, notifies the diagnostics hook, and retires
+// the packet. Every packet's life ends in exactly one drop call or one
+// delivered OnRecv call.
 func (n *Network) drop(reason string, p *Packet) {
 	n.Stats.Inc(reason, 1)
 	if n.OnDrop != nil {
 		n.OnDrop(reason, p)
 	}
+	n.releasePacket(p)
 }
 
 // AllHosts returns every host in creation order.

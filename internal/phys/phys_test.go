@@ -61,15 +61,18 @@ func TestPublicDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got *Packet
+	// Packets are pooled and recycled after OnRecv returns: copy, don't
+	// retain the pointer.
+	var got Packet
+	var delivered bool
 	var at sim.Time
-	sock2.OnRecv = func(p *Packet) { got, at = p, s.Now() }
+	sock2.OnRecv = func(p *Packet) { got, delivered, at = *p, true, s.Now() }
 
 	sock1, _ := h1.Listen(0)
 	sock1.Send(Endpoint{IP: h2.IP(), Port: 5000}, 100, "hello")
 	s.Run()
 
-	if got == nil {
+	if !delivered {
 		t.Fatal("packet not delivered")
 	}
 	if got.Payload != "hello" {

@@ -83,7 +83,7 @@ type Stream struct {
 
 	rto      sim.Duration
 	retries  int
-	rtoTimer *sim.Event
+	rtoTimer sim.Timer
 
 	// receive side
 	rcvNext   uint64
@@ -265,10 +265,7 @@ func (s *Stream) startReaper() {
 }
 
 func (s *Stream) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
 	if s.state == streamClosed {
 		return
 	}
@@ -314,9 +311,7 @@ func (s *Stream) abort(err error) {
 		return
 	}
 	s.state = streamClosed
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 	delete(s.host.streamState().conns, s.connID)
 	if s.reaper != nil {
 		s.reaper.Stop()

@@ -49,34 +49,61 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the time in seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("t=%.3fs", t.Seconds()) }
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel pending events (e.g. retransmission timers).
-type Event struct {
-	when     Time
-	seq      uint64 // tie-breaker: FIFO among equal timestamps
-	index    int    // heap index, -1 once popped or cancelled
-	fn       func()
-	canceled bool
+// event is a pooled scheduled callback. Fired and cancelled events return
+// to the simulator's free list, so cancel-heavy workloads (retransmit
+// timers, keepalives) recycle a small working set instead of churning the
+// allocator. gen is bumped on every release; Timer handles carry the gen
+// they were issued with, so a stale handle can never cancel a recycled
+// event.
+type event struct {
+	when  Time
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	index int    // heap index
+	gen   uint64
+	fn    func()
+	argFn func(any)
+	arg   any
+	next  *event // free-list link
 }
 
-// Time reports when the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.when }
+// Timer is a cancelable handle to a scheduled event, returned by the
+// scheduling methods. It is a value: copy it freely. The zero Timer is
+// inert — Cancel and Active on it are no-ops — so an unarmed timer field
+// needs no nil check. A Timer whose event has already fired (or been
+// cancelled) is likewise inert, even after the simulator recycles the
+// underlying event for an unrelated callback.
+type Timer struct {
+	s   *Simulator
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel reports whether the
-// event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.canceled || e.index < 0 {
+// Active reports whether the timer's event is still pending.
+func (t Timer) Active() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// Time reports when the event is scheduled to fire; zero for an inert
+// timer.
+func (t Timer) Time() Time {
+	if !t.Active() {
+		return 0
+	}
+	return t.ev.when
+}
+
+// Cancel prevents a pending event from firing, removing it from the queue
+// immediately. Cancelling an event that has already fired or been
+// cancelled is a no-op. Cancel reports whether the event was still
+// pending.
+func (t Timer) Cancel() bool {
+	if !t.Active() {
 		return false
 	}
-	e.canceled = true
+	heap.Remove(&t.s.queue, t.ev.index)
+	t.s.release(t.ev)
 	return true
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -91,7 +118,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }
@@ -112,6 +139,7 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now     Time
 	queue   eventHeap
+	free    *event
 	nextSeq uint64
 	rng     *rand.Rand
 	stopped bool
@@ -132,51 +160,91 @@ func (s *Simulator) Now() Time { return s.now }
 // Rand returns the simulator's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// clamps to the current time (the event runs next).
-func (s *Simulator) At(t Time, fn func()) *Event {
+// acquire takes an event from the free list, or allocates one.
+func (s *Simulator) acquire() *event {
+	e := s.free
+	if e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// release retires an event to the free list. Bumping gen here invalidates
+// every Timer handle issued for the retired scheduling.
+func (s *Simulator) release(e *event) {
+	e.gen++
+	e.fn, e.argFn, e.arg = nil, nil, nil
+	e.next = s.free
+	s.free = e
+}
+
+// schedule enqueues a filled callback at absolute time t (clamped to now).
+func (s *Simulator) schedule(t Time, fn func(), argFn func(any), arg any) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{when: t, seq: s.nextSeq, fn: fn}
+	e := s.acquire()
+	e.when, e.seq = t, s.nextSeq
+	e.fn, e.argFn, e.arg = fn, argFn, arg
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return ev
+	heap.Push(&s.queue, e)
+	return Timer{s: s, ev: e, gen: e.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// clamps to the current time (the event runs next).
+func (s *Simulator) At(t Time, fn func()) Timer {
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (s *Simulator) After(d Duration, fn func()) *Event {
+func (s *Simulator) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
 }
 
+// AtArg schedules fn(arg) at absolute virtual time t. With a package-level
+// (non-capturing) fn this schedules without allocating: no closure is
+// created, and the pooled event carries arg — the allocation-free form the
+// packet-delivery hot path uses.
+func (s *Simulator) AtArg(t Time, fn func(any), arg any) Timer {
+	return s.schedule(t, nil, fn, arg)
+}
+
 // Stop terminates the run loop after the currently executing event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Pending reports the number of events waiting in the queue, including
-// cancelled events that have not yet been discarded.
+// Pending reports the number of events waiting in the queue. Cancelled
+// events leave the queue immediately and are not counted.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
 // step executes the next pending event. It reports false when the queue is
 // empty or the simulator has been stopped.
 func (s *Simulator) step(limit Time) bool {
-	for !s.stopped && len(s.queue) > 0 {
-		next := s.queue[0]
-		if limit >= 0 && next.when > limit {
-			return false
-		}
-		heap.Pop(&s.queue)
-		if next.canceled {
-			continue
-		}
-		s.now = next.when
-		s.Processed++
-		next.fn()
-		return true
+	if s.stopped || len(s.queue) == 0 {
+		return false
 	}
-	return false
+	next := s.queue[0]
+	if limit >= 0 && next.when > limit {
+		return false
+	}
+	heap.Pop(&s.queue)
+	s.now = next.when
+	s.Processed++
+	// Release before running: the callback may itself schedule (reusing
+	// this event), and any stale Timer handle is already invalidated.
+	fn, argFn, arg := next.fn, next.argFn, next.arg
+	s.release(next)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -204,7 +272,7 @@ func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 // called. The first invocation happens one interval from now.
 type Ticker struct {
 	stop bool
-	ev   *Event
+	ev   Timer
 }
 
 // Stop halts the ticker; the pending tick is cancelled.

@@ -80,8 +80,59 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() false after Cancel")
+	if ev.Active() {
+		t.Fatal("Active() true after Cancel")
+	}
+}
+
+func TestTimerRecyclingIsSafe(t *testing.T) {
+	s := New(1)
+	// Fire an event, keep its stale handle, then schedule a fresh event
+	// that recycles the pooled object. The stale handle must not be able
+	// to cancel the new scheduling.
+	stale := s.After(Second, func() {})
+	s.Run()
+	fired := false
+	fresh := s.After(Second, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if !fresh.Active() {
+		t.Fatal("fresh event not active")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() || tm.Cancel() || tm.Time() != 0 {
+		t.Fatal("zero Timer is not inert")
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New(1)
+	ev := s.After(Second, func() {})
+	s.After(2*Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	ev.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d after cancel, want eager removal to 1", s.Pending())
+	}
+}
+
+func TestAtArg(t *testing.T) {
+	s := New(1)
+	var got any
+	s.AtArg(Time(Second), func(a any) { got = a }, 42)
+	s.Run()
+	if got != 42 {
+		t.Fatalf("AtArg callback got %v, want 42", got)
 	}
 }
 

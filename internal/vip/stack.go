@@ -80,7 +80,7 @@ type UDPHandler func(src IP, srcPort uint16, size int, msg any)
 
 type pingState struct {
 	cb      func(ok bool, rtt sim.Duration)
-	timeout *sim.Event
+	timeout sim.Timer
 }
 
 // NewStack creates a stack over the carrier.

@@ -90,7 +90,7 @@ type Conn struct {
 	rto          sim.Duration
 	srtt, rttvar sim.Duration
 	hasRTT       bool
-	rtoTimer     *sim.Event
+	rtoTimer     sim.Timer
 	timing       bool
 	timedEnd     int
 	timedAt      sim.Time
@@ -108,7 +108,7 @@ type Conn struct {
 	closedCb  bool
 
 	lastHeard sim.Time
-	kaTimer   *sim.Event
+	kaTimer   sim.Timer
 	kaProbes  int
 
 	retransmits int
@@ -219,12 +219,8 @@ func (c *Conn) abort(err error) {
 		return
 	}
 	c.state = stateClosed
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
+	c.kaTimer.Cancel()
 	delete(c.stack.conns, c.key)
 	c.stack.Stats.Inc("tcp.aborted", 1)
 	c.fireClose(err)
@@ -361,10 +357,7 @@ func (c *Conn) outstanding() bool {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
 	if !c.outstanding() {
 		return
 	}
@@ -623,9 +616,7 @@ func (c *Conn) armKeepAlive() {
 	if idle < 0 || c.state != stateEstablished {
 		return
 	}
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-	}
+	c.kaTimer.Cancel()
 	c.kaTimer = c.stack.sim.After(idle, c.keepAliveCheck)
 }
 
@@ -724,12 +715,8 @@ func (c *Conn) maybeFinish() {
 	localDone := c.finSent && c.sndUna >= c.sndBytes+1
 	if localDone && c.state != stateClosed {
 		c.state = stateClosed
-		if c.rtoTimer != nil {
-			c.rtoTimer.Cancel()
-		}
-		if c.kaTimer != nil {
-			c.kaTimer.Cancel()
-		}
+		c.rtoTimer.Cancel()
+		c.kaTimer.Cancel()
 		delete(c.stack.conns, c.key)
 		c.stack.Stats.Inc("tcp.closed", 1)
 		c.fireClose(nil)

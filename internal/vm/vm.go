@@ -70,7 +70,7 @@ type VM struct {
 	queue     []*task
 	current   *task
 	started   sim.Time
-	compEv    *sim.Event
+	compEv    sim.Timer
 
 	// Stats counts VM lifecycle and job events.
 	Stats metrics.Counter
@@ -221,11 +221,10 @@ func (v *VM) startCurrent() {
 
 // pauseCPU freezes the in-flight job, banking its progress.
 func (v *VM) pauseCPU() {
-	if v.current == nil || v.compEv == nil {
+	if v.current == nil || !v.compEv.Active() {
 		return
 	}
 	v.compEv.Cancel()
-	v.compEv = nil
 	elapsed := v.sim.Now().Sub(v.started)
 	progress := sim.Duration(float64(elapsed) / v.rate())
 	if progress > v.current.remaining {
@@ -235,7 +234,7 @@ func (v *VM) pauseCPU() {
 }
 
 func (v *VM) resumeCPU() {
-	if v.current != nil && v.compEv == nil && v.Running() {
+	if v.current != nil && !v.compEv.Active() && v.Running() {
 		v.startCurrent()
 	}
 	v.dispatch()
