@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers,scale")
+	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers,scale,nat")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
@@ -65,7 +65,7 @@ func main() {
 		"table2": true, "fig6": true, "fig7": true, "fig8": true,
 		"table3": true, "outage": true, "virt": true, "ablations": true,
 		"resilience": true, "faults": true, "schedulers": true,
-		"scale": true,
+		"scale": true, "nat": true,
 	}
 	want := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {
@@ -233,6 +233,14 @@ func main() {
 			show("ablation-ringsize", experiments.RunRingSizeAblation(ao, nil, 5), nil)
 			ta, err := experiments.RunTransportAblation(ao)
 			show("ablation-transport", ta, err)
+		})
+	}
+	if section("nat", "NAT traversal: pairwise connectivity matrix, all-symmetric ring") {
+		timed(func() {
+			m, err := experiments.RunNATMatrix(*seed)
+			show("nat-matrix", m, err)
+			sr, err := experiments.RunSymmetricRing(experiments.SymRingOpts{Seed: *seed})
+			show("symmetric-ring", sr, err)
 		})
 	}
 	if section("scale", "Scale harness: 1k-5k-node overlay, routing hot path") {

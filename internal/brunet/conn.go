@@ -26,6 +26,19 @@ type Connection struct {
 	// URIs is the peer's last advertised URI list, kept for status
 	// gossip and relinking.
 	URIs []URI
+	// Relays, when non-empty, marks this a tunnel edge: no physical path
+	// to the peer exists, and every message is wrapped in a tunnelFrame
+	// and relayed through the first live relay in the list. The list is
+	// kept sorted; the tunnel overlord adds relays learned from traffic
+	// and CTM exchanges and prunes dead ones.
+	Relays []Addr
+	// observed holds the peer's freshest relay-stamped physical endpoints
+	// (most recent first, bounded). Tunnel endpoints never see each
+	// other's wire addresses directly; these observations — current as of
+	// the last frame — are what upgrade attempts dial first, because the
+	// peer's *advertised* URIs go stale the moment its NAT re-binds or
+	// relaxes.
+	observed []URI
 
 	types     map[ConnType]bool
 	inRing    bool // membership flag for the node's ringIndex
@@ -42,6 +55,10 @@ type Connection struct {
 
 // Has reports whether the connection serves the given role.
 func (c *Connection) Has(t ConnType) bool { return c.types[t] }
+
+// DropReason reports why the connection was torn down ("timeout",
+// "leave", …) — meaningful only inside OnDisconnection callbacks.
+func (c *Connection) DropReason() string { return c.dropReason }
 
 // Types lists the connection's roles in sorted order.
 func (c *Connection) Types() []ConnType {
@@ -67,12 +84,99 @@ func (c *Connection) structured() bool {
 	return c.types[StructuredNear] || c.types[StructuredFar] || c.types[Shortcut]
 }
 
+// Tunneled reports whether this is a tunnel edge (no direct physical
+// path; frames relayed through mutual neighbors).
+func (c *Connection) Tunneled() bool { return len(c.Relays) > 0 }
+
 // Transport names the connection's link transport.
 func (c *Connection) Transport() string {
+	if c.Tunneled() {
+		return "tunnel"
+	}
 	if c.Stream != nil {
 		return "tcp"
 	}
 	return "udp"
+}
+
+// hasRelay reports whether r is in the connection's relay list.
+func (c *Connection) hasRelay(r Addr) bool {
+	for _, a := range c.Relays {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}
+
+// addRelay inserts r into the sorted relay list; reports whether new.
+func (c *Connection) addRelay(r Addr) bool {
+	if c.hasRelay(r) {
+		return false
+	}
+	c.Relays = append(c.Relays, r)
+	sort.Slice(c.Relays, func(i, j int) bool { return c.Relays[i].Less(c.Relays[j]) })
+	return true
+}
+
+// maxObservedURIs bounds a tunnel edge's relay-stamped endpoint history.
+const maxObservedURIs = 2
+
+// noteObserved records a relay-stamped observation of the tunnel peer's
+// current wire endpoint, most recent first. TCP observations are skipped
+// (an ephemeral outbound-stream port is useless to dial back).
+func (c *Connection) noteObserved(u URI) {
+	if u.IsZero() || u.Transport == "tcp" {
+		return
+	}
+	if len(c.observed) > 0 && c.observed[0] == u {
+		return
+	}
+	for i, o := range c.observed {
+		if o == u {
+			c.observed = append(c.observed[:i], c.observed[i+1:]...)
+			break
+		}
+	}
+	c.observed = append([]URI{u}, c.observed...)
+	if len(c.observed) > maxObservedURIs {
+		c.observed = c.observed[:maxObservedURIs]
+	}
+}
+
+// upgradeURIs builds the trial list for a direct-link upgrade attempt:
+// the freshest relay-stamped observations first, then the peer's own
+// advertised list, deduplicated.
+func (c *Connection) upgradeURIs(advertised []URI) []URI {
+	if len(c.observed) == 0 {
+		return advertised
+	}
+	out := make([]URI, 0, len(c.observed)+len(advertised))
+	seen := make(map[URI]bool, len(c.observed)+len(advertised))
+	for _, u := range c.observed {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for _, u := range advertised {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// removeRelay deletes r from the relay list; reports whether present.
+func (c *Connection) removeRelay(r Addr) bool {
+	for i, a := range c.Relays {
+		if a == r {
+			c.Relays = append(c.Relays[:i], c.Relays[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // String renders "peer[types]@transport:endpoint".
@@ -109,6 +213,56 @@ func (n *Node) addConnection(peer Addr, ep phys.Endpoint, stream *phys.Stream, u
 			c.Stream = stream
 			n.watchStream(c)
 		}
+		if c.Tunneled() {
+			// A direct wire confirmed: the tunnel upgrades in place
+			// to a direct edge — roles, ring membership and keepalive
+			// state all carry over.
+			c.Relays = nil
+			c.observed = nil
+			n.Stats.Inc("tunnel.upgraded", 1)
+		}
+		c.lastHeard = n.sim.Now()
+	}
+	if len(uris) > 0 {
+		c.URIs = uris
+	}
+	if !c.types[t] {
+		c.addType(t)
+		n.Stats.Inc("conn."+t.String(), 1)
+	}
+	if c.structured() {
+		n.ring.insert(c)
+	}
+	n.notifyConn(c)
+	return c
+}
+
+// addTunnelConnection records a tunnel edge to peer relayed through the
+// given relays, or adds a role to an existing connection. An existing
+// direct connection is never downgraded: the relays are ignored and only
+// the role is added (the peer's tunnel state is transient and its own
+// upgrade probe will converge on the direct edge).
+func (n *Node) addTunnelConnection(peer Addr, relays []Addr, uris []URI, t ConnType) *Connection {
+	c, ok := n.conns[peer]
+	if !ok {
+		c = &Connection{
+			Peer:      peer,
+			types:     make(map[ConnType]bool),
+			lastHeard: n.sim.Now(),
+		}
+		for _, r := range relays {
+			c.addRelay(r)
+		}
+		n.conns[peer] = c
+		n.Stats.Inc("conn.created", 1)
+		n.Stats.Inc("tunnel.established", 1)
+		n.schedulePing(c)
+	} else {
+		if c.Tunneled() {
+			for _, r := range relays {
+				c.addRelay(r)
+			}
+		}
 		c.lastHeard = n.sim.Now()
 	}
 	if len(uris) > 0 {
@@ -142,9 +296,14 @@ func (n *Node) watchStream(c *Connection) {
 }
 
 // sendConn transmits a link-layer or overlay message over the
-// connection's transport.
+// connection's transport. Messages for a tunnel edge are wrapped in a
+// tunnelFrame and handed to the first live relay.
 func (n *Node) sendConn(c *Connection, size int, payload any) {
 	if !n.up || c.closed {
+		return
+	}
+	if c.Tunneled() {
+		n.sendTunnel(c, size, payload)
 		return
 	}
 	if c.Stream != nil {
@@ -152,6 +311,31 @@ func (n *Node) sendConn(c *Connection, size int, payload any) {
 		return
 	}
 	n.sendDirect(c.EP, size, payload)
+}
+
+// liveRelay returns the first relay in c.Relays reachable over a direct
+// (non-tunneled) connection, or nil. Tunnels never nest: a relay that is
+// itself only reachable through a tunnel cannot carry frames.
+func (n *Node) liveRelay(c *Connection) *Connection {
+	for _, r := range c.Relays {
+		rc, ok := n.conns[r]
+		if ok && !rc.closed && !rc.Tunneled() {
+			return rc
+		}
+	}
+	return nil
+}
+
+// sendTunnel wraps payload in a tunnelFrame and sends it to a live relay
+// for forwarding to the tunnel peer.
+func (n *Node) sendTunnel(c *Connection, size int, payload any) {
+	rc := n.liveRelay(c)
+	if rc == nil {
+		n.Stats.Inc("tunnel.norelay", 1)
+		return
+	}
+	frame := tunnelFrame{From: n.addr, To: c.Peer, Via: rc.Peer, Size: size, Inner: payload}
+	n.sendConn(rc, tunnelHdrSize+size, frame)
 }
 
 // dropConnection removes a connection entirely, with an optional close

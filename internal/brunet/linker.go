@@ -19,22 +19,58 @@ type linker struct {
 	uris   []URI
 	token  uint64
 
+	// relays switches the linker to tunnel mode: instead of dialing the
+	// target's URIs, each link request is wrapped in a tunnelFrame and
+	// sent through one relay at a time (uriIdx indexes relays).
+	relays []Addr
+	// upgrade marks an attempt to replace an existing tunnel edge with a
+	// direct one: the "already linked in this role" guard is skipped.
+	upgrade bool
+
 	uriIdx  int
 	attempt int
 	timer   sim.Timer
 	stream  *phys.Stream // active TCP-transport attempt, if any
 	done    bool
 	yielded bool
+
+	// failTimeout / failReject classify the trial failures seen so far,
+	// for the terminal failure taxonomy reported to the node.
+	failTimeout int
+	failReject  int
 }
+
+// tunnelMode reports whether the linker handshakes through relays.
+func (lk *linker) tunnelMode() bool { return len(lk.relays) > 0 }
 
 // startLinker begins a linking attempt toward target using its URI list.
 // If a linker for the target is already active the call is a no-op — the
 // outstanding attempt will complete (or fail) on its own.
 func (n *Node) startLinker(target Addr, uris []URI, t ConnType) {
-	if target == n.addr || len(uris) == 0 {
+	n.launchLinker(target, uris, nil, t, false)
+}
+
+// startUpgradeLinker begins a direct linking attempt toward a peer we
+// already hold a (tunnel) connection to, so a successful handshake
+// upgrades the tunnel in place.
+func (n *Node) startUpgradeLinker(target Addr, uris []URI, t ConnType) {
+	n.launchLinker(target, uris, nil, t, true)
+}
+
+// startTunnelLinker begins a tunnel-mode linking attempt toward target,
+// handshaking through the given relays.
+func (n *Node) startTunnelLinker(target Addr, relays []Addr, uris []URI, t ConnType) {
+	n.launchLinker(target, uris, relays, t, false)
+}
+
+func (n *Node) launchLinker(target Addr, uris []URI, relays []Addr, t ConnType, upgrade bool) {
+	if target == n.addr {
 		return
 	}
-	if c, ok := n.conns[target]; ok && c.Has(t) {
+	if len(uris) == 0 && len(relays) == 0 {
+		return
+	}
+	if c, ok := n.conns[target]; ok && c.Has(t) && !upgrade {
 		return // already linked in this role
 	}
 	if _, active := n.linkers[target]; active {
@@ -57,10 +93,42 @@ func (n *Node) startLinker(target Addr, uris []URI, t ConnType) {
 			ordered = append(ordered, u)
 		}
 	}
-	lk := &linker{node: n, target: target, ctype: t, uris: ordered, token: n.tokenSeq}
+	lk := &linker{node: n, target: target, ctype: t, uris: ordered,
+		relays: relays, upgrade: upgrade, token: n.tokenSeq}
 	n.linkers[target] = lk
 	n.Stats.Inc("link.attempts", 1)
 	lk.sendRequest()
+}
+
+// trialCount is the number of trial slots: relays in tunnel mode, URIs
+// otherwise.
+func (lk *linker) trialCount() int {
+	if lk.tunnelMode() {
+		return len(lk.relays)
+	}
+	return len(lk.uris)
+}
+
+// giveUp terminates the linker after its last trial slot failed, counting
+// the terminal reason and reporting it to the node so the tunnel overlord
+// can distinguish "retry later" (busy races) from "needs a tunnel"
+// (every URI timed out or was rejected).
+func (lk *linker) giveUp() {
+	n := lk.node
+	if lk.tunnelMode() {
+		// A failed tunnel handshake never falls back to another tunnel.
+		n.Stats.Inc("tunnel.link_giveup", 1)
+		lk.finish(false)
+		return
+	}
+	reason := "timeout"
+	if lk.failReject > 0 && lk.failTimeout == 0 {
+		reason = "reject"
+	}
+	n.Stats.Inc("link.giveup", 1)
+	n.Stats.Inc("link.giveup."+reason, 1)
+	lk.finish(false)
+	n.linkFailed(lk.target, lk.ctype, reason)
 }
 
 // sendRequest transmits the current link request and arms the resend timer.
@@ -70,14 +138,12 @@ func (lk *linker) sendRequest() {
 		lk.finish(false)
 		return
 	}
-	if lk.uriIdx >= len(lk.uris) {
-		// All URIs exhausted: give up. Higher layers (overlords)
+	if lk.uriIdx >= lk.trialCount() {
+		// All trials exhausted: give up. Higher layers (overlords)
 		// re-issue CTMs with their own backoff.
-		n.Stats.Inc("link.giveup", 1)
-		lk.finish(false)
+		lk.giveUp()
 		return
 	}
-	uri := lk.uris[lk.uriIdx]
 	req := linkRequest{
 		From:  n.addr,
 		To:    lk.target,
@@ -87,6 +153,25 @@ func (lk *linker) sendRequest() {
 		URIs:  n.URIs(),
 	}
 	size := linkMsgSize + 16*len(req.URIs)
+	if lk.tunnelMode() {
+		// Tunnel mode: the handshake rides tunnelFrames through the
+		// current relay. A relay we no longer hold a direct connection
+		// to is skipped immediately.
+		relay := lk.relays[lk.uriIdx]
+		rc, ok := n.conns[relay]
+		if !ok || rc.closed || rc.Tunneled() {
+			lk.uriIdx++
+			lk.attempt = 0
+			lk.sendRequest()
+			return
+		}
+		frame := tunnelFrame{From: n.addr, To: lk.target, Via: relay, Size: size, Inner: req}
+		n.sendConn(rc, tunnelHdrSize+size, frame)
+		n.Stats.Inc("link.requests", 1)
+		lk.armResend()
+		return
+	}
+	uri := lk.uris[lk.uriIdx]
 	if uri.Transport == "tcp" {
 		// TCP-transport URI: the handshake rides a kernel stream.
 		if lk.stream == nil {
@@ -111,10 +196,17 @@ func (lk *linker) sendRequest() {
 		n.sendDirect(uri.EP, size, req)
 	}
 	n.Stats.Inc("link.requests", 1)
+	lk.armResend()
+}
 
-	wait := lk.node.cfg.LinkResend
+// armResend schedules the next resend with exponential backoff; once the
+// retry budget for the current trial slot is burned, the slot is counted
+// as timed out and the handshake restarts over the next one (§IV-D).
+func (lk *linker) armResend() {
+	n := lk.node
+	wait := n.cfg.LinkResend
 	for i := 0; i < lk.attempt; i++ {
-		wait = sim.Duration(float64(wait) * lk.node.cfg.LinkBackoff)
+		wait = sim.Duration(float64(wait) * n.cfg.LinkBackoff)
 	}
 	lk.timer = n.sim.After(wait, func() {
 		if lk.done {
@@ -122,9 +214,13 @@ func (lk *linker) sendRequest() {
 		}
 		lk.attempt++
 		if lk.attempt > n.cfg.LinkRetries {
-			// Give up on this URI; restart the handshake over the
-			// next one in the list (§IV-D).
-			n.Stats.Inc("link.uri_exhausted", 1)
+			if lk.tunnelMode() {
+				n.Stats.Inc("tunnel.relay_exhausted", 1)
+			} else {
+				n.Stats.Inc("link.uri_exhausted", 1)
+				n.Stats.Inc("link.uri_exhausted.timeout", 1)
+			}
+			lk.failTimeout++
 			lk.abandonStream()
 			lk.uriIdx++
 			lk.attempt = 0
@@ -184,7 +280,17 @@ func (n *Node) handleLinkRequest(w wire, req linkRequest) {
 		return
 	}
 	if lk, active := n.linkers[req.From]; active && !lk.yielded {
-		if n.addr.Less(req.From) {
+		// A direct-wire request from a peer we only hold a tunnel to is
+		// proof the peer can reach us physically, while our own attempt
+		// may be dialing through a NAT that will never admit it. It wins
+		// the race regardless of the address tie-break — otherwise
+		// upgrade probing livelocks, the smaller-address side forever
+		// "winning" races its own dials cannot cash in.
+		directUpgrade := false
+		if c, ok := n.conns[req.From]; ok && c.Tunneled() && !w.isTunnel() {
+			directUpgrade = true
+		}
+		if n.addr.Less(req.From) && !directUpgrade {
 			// We win: tell the peer to stand down; our own attempt
 			// continues.
 			n.Stats.Inc("link.race_won", 1)
@@ -196,13 +302,24 @@ func (n *Node) handleLinkRequest(w wire, req linkRequest) {
 		lk.yielded = true
 		lk.finish(false)
 	}
-	c := n.addConnection(req.From, src, w.stream, req.URIs, req.Type)
+	var c *Connection
+	observed := URIEndpoint{URI: URI{Transport: w.transport(), EP: src}}
+	if w.isTunnel() {
+		// Tunnel-mode handshake: record a tunnel edge through the relay
+		// the request arrived via. There is no physical source endpoint;
+		// the relay-stamped observation (our peer's public endpoint as the
+		// relay saw it) is echoed back instead.
+		c = n.addTunnelConnection(req.From, []Addr{w.tvia}, req.URIs, req.Type)
+		observed = URIEndpoint{URI: w.tobs}
+	} else {
+		c = n.addConnection(req.From, src, w.stream, req.URIs, req.Type)
+	}
 	n.touch(c)
 	reply := linkReply{
 		From:     n.addr,
 		Token:    req.Token,
 		URIs:     n.URIs(),
-		Observed: URIEndpoint{URI: URI{Transport: w.transport(), EP: src}},
+		Observed: observed,
 	}
 	n.replyTo(w, linkMsgSize+16*len(reply.URIs), reply)
 }
@@ -233,7 +350,16 @@ func (n *Node) handleLinkReply(w wire, rep linkReply) {
 		}
 		return
 	}
-	c := n.addConnection(rep.From, src, lk.stream, rep.URIs, lk.ctype)
+	var c *Connection
+	if w.isTunnel() {
+		relays := lk.relays
+		if len(relays) == 0 {
+			relays = []Addr{w.tvia}
+		}
+		c = n.addTunnelConnection(rep.From, relays, rep.URIs, lk.ctype)
+	} else {
+		c = n.addConnection(rep.From, src, lk.stream, rep.URIs, lk.ctype)
+	}
 	n.touch(c)
 	lk.stream = nil // the connection owns it now
 	lk.finish(true)
@@ -245,7 +371,21 @@ func (n *Node) handleLinkReply(w wire, rep linkReply) {
 func (n *Node) handleLinkError(rep linkError) {
 	lk, ok := n.linkers[rep.From]
 	if !ok || lk.token != rep.Token {
-		return
+		// A "wrong target" error comes from whoever actually answered a
+		// stale URI — not the node we believed we were dialing — so the
+		// sender's address won't match any linker. Recover it by token
+		// (tokens are unique per linker); map iteration order is
+		// irrelevant since at most one linker matches.
+		lk = nil
+		for _, cand := range n.linkers {
+			if cand.token == rep.Token {
+				lk = cand
+				break
+			}
+		}
+		if lk == nil {
+			return
+		}
 	}
 	if rep.Reason == "busy" {
 		// The peer's symmetric attempt is in flight; usually it will
@@ -254,6 +394,8 @@ func (n *Node) handleLinkError(rep linkError) {
 		// behind a stateful firewall), only OUR outbound handshake can
 		// ever succeed — so, per §IV-B2, restart with a randomized
 		// exponential backoff rather than yielding forever.
+		n.Stats.Inc("link.uri_exhausted", 1)
+		n.Stats.Inc("link.uri_exhausted.busy", 1)
 		lk.yielded = true
 		target, uris, ctype := lk.target, lk.uris, lk.ctype
 		lk.finish(false)
@@ -269,14 +411,24 @@ func (n *Node) handleLinkError(rep linkError) {
 				return
 			}
 			if c, ok := n.conns[target]; ok && c.Has(ctype) {
-				n.busyRetry[target] = 0
-				return // the peer's attempt won after all
+				if !c.Tunneled() {
+					n.busyRetry[target] = 0
+					return // the peer's attempt won after all
+				}
+				// Only a tunnel edge exists: keep retrying in upgrade
+				// mode, or the race loser could never dial out again.
+				n.startUpgradeLinker(target, uris, ctype)
+				return
 			}
 			n.startLinker(target, uris, ctype)
 		})
 		return
 	}
-	// Wrong target: this URI reaches somebody else now; try the next.
+	// Wrong target (NAT rebind handed the URI to somebody else): this URI
+	// is a hard reject, not a timeout; skip straight to the next.
+	n.Stats.Inc("link.uri_exhausted", 1)
+	n.Stats.Inc("link.uri_exhausted.reject", 1)
+	lk.failReject++
 	lk.timer.Cancel()
 	lk.abandonStream()
 	lk.uriIdx++

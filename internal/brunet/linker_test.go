@@ -32,8 +32,18 @@ func TestLinkerURIExhaustionGivesUp(t *testing.T) {
 	if got := n.Stats.Get("link.uri_exhausted"); got != 2 {
 		t.Errorf("link.uri_exhausted = %d, want 2 (one per dead URI)", got)
 	}
+	// Failure taxonomy: silent endpoints are timeouts, not rejects.
+	if got := n.Stats.Get("link.uri_exhausted.timeout"); got != 2 {
+		t.Errorf("link.uri_exhausted.timeout = %d, want 2", got)
+	}
+	if got := n.Stats.Get("link.uri_exhausted.reject"); got != 0 {
+		t.Errorf("link.uri_exhausted.reject = %d, want 0", got)
+	}
 	if got := n.Stats.Get("link.giveup"); got != 1 {
 		t.Errorf("link.giveup = %d, want 1", got)
+	}
+	if got := n.Stats.Get("link.giveup.timeout"); got != 1 {
+		t.Errorf("link.giveup.timeout = %d, want 1", got)
 	}
 	if _, active := n.linkers[ghost]; active {
 		t.Error("linker still registered after giving up")
@@ -98,6 +108,9 @@ func TestBusyRaceRandomizedRestart(t *testing.T) {
 	}
 	if a.busyRetry[b.Addr()] != 1 {
 		t.Fatalf("busyRetry = %d, want 1", a.busyRetry[b.Addr()])
+	}
+	if got := a.Stats.Get("link.uri_exhausted.busy"); got != 1 {
+		t.Fatalf("link.uri_exhausted.busy = %d, want 1", got)
 	}
 
 	// The randomized restart must re-issue the attempt and win.

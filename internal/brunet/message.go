@@ -20,6 +20,11 @@ const (
 	// nodes by the ShortcutConnectionOverlord, collapsing multi-hop
 	// virtual-IP paths to a single overlay hop.
 	Shortcut
+	// Relay connections are direct links recruited by the tunnel
+	// overlord purely to carry tunnel frames for a third party. They are
+	// not ring routers (not structured) and are dropped when no tunnel
+	// uses them any more.
+	Relay
 )
 
 // String names the connection type.
@@ -33,6 +38,8 @@ func (t ConnType) String() string {
 		return "structured.far"
 	case Shortcut:
 		return "shortcut"
+	case Relay:
+		return "relay"
 	}
 	return fmt.Sprintf("ConnType(%d)", int(t))
 }
@@ -43,8 +50,9 @@ const (
 	linkMsgSize    = 96
 	pingMsgSize    = 40
 	overlayHdrSize = 48
-	ctmMsgSize     = 64 // plus ~16 per carried URI
+	ctmMsgSize     = 64 // plus ~16 per carried URI, ~24 per relay candidate
 	statusMsgSize  = 48 // plus ~24 per advertised neighbor
+	tunnelHdrSize  = 48 // tunnelFrame envelope around the inner message
 )
 
 // linkRequest begins or continues the linking protocol handshake (§IV-B2),
@@ -169,6 +177,11 @@ type ctmRequest struct {
 	// it over the leaf connection — necessary while the sender is not
 	// yet routable (§IV-C).
 	ReplyVia Addr
+	// Relays advertises the sender's directly-connected neighbors (its
+	// connection table, capped) so that, if the linking protocol cannot
+	// form a direct edge, the receiver can pick mutual neighbors as
+	// tunnel relays — Brunet's tunnel-edge fallback for symmetric NATs.
+	Relays []NeighborInfo
 }
 
 // ctmReply answers a ctmRequest, carrying the responder's URIs back so the
@@ -179,6 +192,42 @@ type ctmReply struct {
 	Type  ConnType
 	Token uint64
 	URIs  []URI
+	// Relays mirrors ctmRequest.Relays for the responder.
+	Relays []NeighborInfo
+}
+
+// tunnelFrame carries one link-layer message of a tunnel edge. The
+// originator (From) hands the frame to a relay over a direct connection;
+// the relay forwards it, again over a direct connection, to the tunnel
+// peer (To), which unwraps Inner and dispatches it as if it had arrived on
+// a private transport between From and To. Via names the relay the
+// originator chose, so the receiver can answer through the same relay and
+// learn working relays from traffic. Frames are never forwarded through a
+// second tunnel (no nesting): a relay without a direct connection to To
+// drops the frame.
+type tunnelFrame struct {
+	From Addr
+	To   Addr
+	Via  Addr
+	Size int
+	// Observed is stamped by the relay with the originator's wire source
+	// endpoint as the relay saw it. Tunnel endpoints otherwise never see
+	// each other's physical addresses, and a NATed originator depends on
+	// this observation to keep learning its current public URI — the
+	// seed for upgrading the tunnel to a direct edge once its NAT
+	// allows hole punching.
+	Observed URIEndpoint
+	Inner    any
+}
+
+// tunnelNoRoute is a relay's bounce for a tunnelFrame it could not
+// forward (no direct connection to the frame's To). It travels back to the
+// originator over the direct connection the frame arrived on, letting the
+// originator prune the dead relay from that tunnel edge immediately
+// instead of discovering the blackhole by keepalive timeout.
+type tunnelNoRoute struct {
+	Relay Addr // the bouncing relay
+	To    Addr // the tunnel peer it cannot reach
 }
 
 // forwarded wraps a payload relayed through a leaf forwarder to a

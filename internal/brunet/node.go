@@ -68,6 +68,18 @@ type Config struct {
 	RelinkBase    sim.Duration
 	RelinkRetries int
 
+	// TunnelUpgradeInterval paces a tunnel edge's direct-link upgrade
+	// probes: every interval the tunnel overlord routes a fresh CTM to
+	// the tunnel peer, re-running bidirectional linking with current
+	// URIs so the tunnel upgrades in place to a direct edge as soon as
+	// hole punching becomes possible (NAT relaxed, mapping migrated,
+	// node moved). The probes double as relay-candidate refresh.
+	// UseZero disables upgrade probing.
+	TunnelUpgradeInterval sim.Duration
+	// TunnelMaxRelays caps both the relay list of a tunnel edge and the
+	// relay-candidate list advertised in CTMs.
+	TunnelMaxRelays int
+
 	// PrivateFirst flips the linking protocol's URI trial order to try
 	// private endpoints before NAT-learned ones; an ablation knob for
 	// the Figure 5 regime-3 delay.
@@ -117,7 +129,11 @@ func DefaultConfig() Config {
 		SuspectRetries: 1,
 		RelinkBase:     10 * sim.Second,
 		RelinkRetries:  5,
-		Shortcut:       DefaultShortcutConfig(),
+
+		TunnelUpgradeInterval: 60 * sim.Second,
+		TunnelMaxRelays:       4,
+
+		Shortcut: DefaultShortcutConfig(),
 	}
 }
 
@@ -146,6 +162,7 @@ func FastTestConfig() Config {
 	c.StatusInterval = 2 * sim.Second
 	c.FarInterval = 3 * sim.Second
 	c.RelinkBase = sim.Second
+	c.TunnelUpgradeInterval = 3 * sim.Second
 	return c
 }
 
@@ -177,6 +194,8 @@ func (c *Config) fillDefaults() {
 	c.SuspectRetries = defaulted(c.SuspectRetries, d.SuspectRetries)
 	c.RelinkBase = defaulted(c.RelinkBase, d.RelinkBase)
 	c.RelinkRetries = defaulted(c.RelinkRetries, d.RelinkRetries)
+	c.TunnelUpgradeInterval = defaulted(c.TunnelUpgradeInterval, d.TunnelUpgradeInterval)
+	c.TunnelMaxRelays = defaulted(c.TunnelMaxRelays, d.TunnelMaxRelays)
 	if c.Transport == "" {
 		c.Transport = "udp"
 	}
@@ -209,6 +228,7 @@ type Node struct {
 	far    *farOverlord
 	sco    *shortcutOverlord
 	repair *repairOverlord
+	tun    *tunnelOverlord
 
 	tokenSeq uint64
 	pingSeq  uint64
@@ -371,6 +391,7 @@ func (n *Node) Start(bootstrap []URI) error {
 	n.near = newNearOverlord(n)
 	n.far = newFarOverlord(n)
 	n.repair = newRepairOverlord(n)
+	n.tun = newTunnelOverlord(n)
 	if n.cfg.Shortcut != nil {
 		n.sco = newShortcutOverlord(n, *n.cfg.Shortcut)
 	}
@@ -378,6 +399,7 @@ func (n *Node) Start(bootstrap []URI) error {
 	n.near.start()
 	n.far.start()
 	n.repair.start()
+	n.tun.start()
 	if n.sco != nil {
 		n.sco.start()
 	}
@@ -414,7 +436,7 @@ func (n *Node) Stop() {
 		n.slisten.Close()
 		n.slisten = nil
 	}
-	n.near, n.far, n.sco, n.repair = nil, nil, nil, nil
+	n.near, n.far, n.sco, n.repair, n.tun = nil, nil, nil, nil, nil
 	n.learned = uriSet{}
 }
 
@@ -473,14 +495,29 @@ func (n *Node) sendDirect(ep phys.Endpoint, size int, payload any) {
 }
 
 // wire identifies how a received message's sender can be answered: a UDP
-// endpoint or a TCP-transport stream.
+// endpoint, a TCP-transport stream, or a tunnel (relay-forwarded frames).
 type wire struct {
 	ep     phys.Endpoint
 	stream *phys.Stream
+	// tpeer/tvia are set for messages unwrapped from a tunnelFrame: the
+	// tunnel peer the message came from, and the relay that carried it
+	// (replies go back through the same relay). tobs is the sender's
+	// physical endpoint as stamped by the relay — the only endpoint
+	// observation tunnel endpoints ever get of each other.
+	tpeer Addr
+	tvia  Addr
+	tobs  URI
 }
 
+// isTunnel reports whether the message arrived through a tunnel edge.
+func (w wire) isTunnel() bool { return !w.tpeer.IsZero() }
+
 // observed returns the sender's NAT-translated endpoint as seen here.
+// Tunnel wires have no directly-observed endpoint.
 func (w wire) observed() phys.Endpoint {
+	if w.isTunnel() {
+		return phys.Endpoint{}
+	}
 	if w.stream != nil {
 		return w.stream.RemoteEndpoint()
 	}
@@ -489,15 +526,30 @@ func (w wire) observed() phys.Endpoint {
 
 // transport names the wire's transport.
 func (w wire) transport() string {
+	if w.isTunnel() {
+		return "tunnel"
+	}
 	if w.stream != nil {
 		return "tcp"
 	}
 	return "udp"
 }
 
-// replyTo answers over the same wire the message arrived on.
+// replyTo answers over the same wire the message arrived on. Tunnel
+// replies are wrapped in a frame and returned through the relay that
+// carried the request.
 func (n *Node) replyTo(w wire, size int, payload any) {
 	if !n.up {
+		return
+	}
+	if w.isTunnel() {
+		rc, ok := n.conns[w.tvia]
+		if !ok || rc.closed || rc.Tunneled() {
+			n.Stats.Inc("tunnel.noreturn", 1)
+			return
+		}
+		frame := tunnelFrame{From: n.addr, To: w.tpeer, Via: w.tvia, Size: size, Inner: payload}
+		n.sendConn(rc, tunnelHdrSize+size, frame)
 		return
 	}
 	if w.stream != nil {
@@ -547,7 +599,7 @@ func (n *Node) handleWire(w wire, payload any) {
 		// Endpoint roaming: a known peer pinging from a new address
 		// means its NAT rebound the mapping (§V-E); adopt the fresh
 		// endpoint so our return path follows the translation change.
-		if c.Stream == nil && w.stream == nil && w.ep != c.EP {
+		if c.Stream == nil && w.stream == nil && !w.isTunnel() && !c.Tunneled() && w.ep != c.EP {
 			c.EP = w.ep
 			n.Stats.Inc("conn.ep_roamed", 1)
 		}
@@ -564,6 +616,12 @@ func (n *Node) handleWire(w wire, payload any) {
 		n.handleLeave(m)
 	case suspectMsg:
 		n.handleSuspect(m)
+	case tunnelFrame:
+		n.handleTunnelFrame(w, m)
+	case tunnelNoRoute:
+		if n.tun != nil {
+			n.tun.noRoute(m.Relay, m.To)
+		}
 	case statusMsg:
 		if c, ok := n.conns[m.From]; ok {
 			n.touch(c)
@@ -661,6 +719,28 @@ func (n *Node) deliver(pkt *OverlayPacket) {
 	}
 }
 
+// relayCandidates lists this node's directly-connected peers (capped, in
+// address order) for a CTM's Relays field: the connection-table exchange
+// that lets two nodes that cannot link directly find mutual neighbors to
+// tunnel through.
+func (n *Node) relayCandidates() []NeighborInfo {
+	max := n.cfg.TunnelMaxRelays
+	if max <= 0 || len(n.conns) == 0 {
+		return nil
+	}
+	out := make([]NeighborInfo, 0, max)
+	for _, c := range n.Connections() {
+		if c.Tunneled() || c.closed {
+			continue
+		}
+		out = append(out, NeighborInfo{Addr: c.Peer, URIs: c.URIs})
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
 // sendCTM routes a Connect-To-Me request toward target (§IV-B1).
 func (n *Node) sendCTM(target Addr, t ConnType, mode DeliveryMode, replyVia Addr) {
 	n.tokenSeq++
@@ -670,13 +750,14 @@ func (n *Node) sendCTM(target Addr, t ConnType, mode DeliveryMode, replyVia Addr
 		Token:    n.tokenSeq,
 		URIs:     n.URIs(),
 		ReplyVia: replyVia,
+		Relays:   n.relayCandidates(),
 	}
 	pkt := &OverlayPacket{
 		Src:     n.addr,
 		Dst:     target,
 		Mode:    mode,
 		MaxHops: n.cfg.MaxHops,
-		Size:    overlayHdrSize + ctmMsgSize + 16*len(req.URIs),
+		Size:    overlayHdrSize + ctmMsgSize + 16*len(req.URIs) + 24*len(req.Relays),
 		Payload: req,
 	}
 	n.Stats.Inc("ctm.sent", 1)
@@ -700,8 +781,12 @@ func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) 
 		return // own join CTM came back: ring too small to matter
 	}
 	n.Stats.Inc("ctm.received", 1)
-	rep := ctmReply{From: n.addr, To: req.From, Type: req.Type, Token: req.Token, URIs: n.URIs()}
-	size := overlayHdrSize + ctmMsgSize + 16*len(rep.URIs)
+	if n.tun != nil {
+		n.tun.learnCandidates(req.From, req.URIs, req.Relays)
+	}
+	rep := ctmReply{From: n.addr, To: req.From, Type: req.Type, Token: req.Token,
+		URIs: n.URIs(), Relays: n.relayCandidates()}
+	size := overlayHdrSize + ctmMsgSize + 16*len(rep.URIs) + 24*len(rep.Relays)
 	if !req.ReplyVia.IsZero() {
 		fw := forwarded{To: req.From, Inner: rep, Size: size}
 		n.routePacket(&OverlayPacket{
@@ -714,8 +799,14 @@ func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) 
 			MaxHops: n.cfg.MaxHops, Size: size, Payload: rep,
 		}, n.addr)
 	}
-	// Responder-side linking.
-	n.startLinker(req.From, req.URIs, req.Type)
+	// Responder-side linking. A CTM from a peer we only hold a tunnel to
+	// doubles as an upgrade probe: re-run direct linking with the fresh
+	// URIs the CTM carries (both sides do, which is what punches holes).
+	if c, ok := n.conns[req.From]; ok && c.Tunneled() {
+		n.startUpgradeLinker(req.From, c.upgradeURIs(req.URIs), req.Type)
+	} else {
+		n.startLinker(req.From, req.URIs, req.Type)
+	}
 
 	// A join CTM (nearest-mode, addressed to the joiner itself) also
 	// concerns the ring neighbor on the other side of the joining
@@ -749,6 +840,13 @@ func (n *Node) handleCTMReply(rep ctmReply) {
 		return
 	}
 	n.Stats.Inc("ctm.replied", 1)
+	if n.tun != nil {
+		n.tun.learnCandidates(rep.From, rep.URIs, rep.Relays)
+	}
+	if c, ok := n.conns[rep.From]; ok && c.Tunneled() {
+		n.startUpgradeLinker(rep.From, c.upgradeURIs(rep.URIs), rep.Type)
+		return
+	}
 	n.startLinker(rep.From, rep.URIs, rep.Type)
 }
 
@@ -789,6 +887,68 @@ func (n *Node) handleSuspect(m suspectMsg) {
 	if c, ok := n.conns[m.Dead]; ok {
 		n.fastProbe(c)
 	}
+	// A suspect that serves as a tunnel relay gets its tunnels
+	// re-pointed pre-emptively: the overlord checks for alternatives now
+	// instead of waiting for frames to silently vanish.
+	if n.tun != nil {
+		n.tun.relaySuspected(m.Dead)
+	}
+}
+
+// linkFailed is the linker's terminal-failure hook: every URI toward
+// target was exhausted for the given reason ("timeout" or "reject"). The
+// tunnel overlord consumes it to decide when a tunnel edge is warranted.
+func (n *Node) linkFailed(target Addr, t ConnType, reason string) {
+	if n.tun != nil {
+		n.tun.linkFailed(target, t, reason)
+	}
+}
+
+// handleTunnelFrame processes one tunnel-edge frame: forward it when this
+// node is the relay, unwrap and dispatch it when this node is the tunnel
+// endpoint. Frames are only ever forwarded over direct connections — a
+// relay whose own link to the destination is tunneled drops the frame, so
+// tunnels never nest (no relay cycles, bounded path length of two hops).
+func (n *Node) handleTunnelFrame(w wire, f tunnelFrame) {
+	if f.To != n.addr {
+		c, ok := n.conns[f.To]
+		if !ok || c.closed || c.Tunneled() {
+			n.Stats.Inc("tunnel.relay_noroute", 1)
+			// Bounce: tell the originator this relay has no direct route
+			// to To, so it fails over now rather than at ping timeout.
+			if oc, live := n.conns[f.From]; live && !oc.closed && !oc.Tunneled() {
+				n.sendConn(oc, pingMsgSize, tunnelNoRoute{Relay: n.addr, To: f.To})
+			}
+			return
+		}
+		// The frame is traffic from the originator on our direct link.
+		if rc, rok := n.conns[f.From]; rok {
+			n.touch(rc)
+		}
+		// Stamp the originator's wire endpoint: the tunnel endpoints
+		// never see each other's addresses, and NATed originators rely
+		// on this observation to keep their learned URIs fresh for the
+		// direct-link upgrade path.
+		f.Observed = URIEndpoint{URI: URI{Transport: w.transport(), EP: w.observed()}}
+		n.Stats.Inc("tunnel.relayed", 1)
+		n.sendConn(c, tunnelHdrSize+f.Size, f)
+		return
+	}
+	// Tunnel endpoint: a frame through Via proves that relay works in
+	// the peer->us direction; adopt it so our own sends can fail over.
+	if c, ok := n.conns[f.From]; ok && c.Tunneled() {
+		if !f.Via.IsZero() && len(c.Relays) < n.cfg.TunnelMaxRelays {
+			if rc, rok := n.conns[f.Via]; rok && !rc.Tunneled() && c.addRelay(f.Via) {
+				n.Stats.Inc("tunnel.relay_learned", 1)
+			}
+		}
+		// The relay stamped the peer's current wire endpoint on the
+		// frame. Record it: if the peer's NAT later relaxes or re-binds,
+		// this — not the peer's stale advertised list — is the endpoint
+		// an upgrade attempt can actually reach.
+		c.noteObserved(f.Observed.URI)
+	}
+	n.handleWire(wire{tpeer: f.From, tvia: f.Via, tobs: f.Observed.URI}, f.Inner)
 }
 
 // handleForwarded relays a payload to a leaf child (§IV-C: "the leaf

@@ -1,0 +1,413 @@
+package brunet
+
+import "wow/internal/sim"
+
+// tunnelOverlord manages tunnel edges — Brunet's fallback for peer pairs
+// whose NATs defeat hole punching (symmetric↔symmetric and
+// symmetric↔port-restricted). When the linker exhausts every URI toward a
+// wanted structured-near neighbor, the overlord establishes a tunnel edge
+// instead: link-layer traffic to the peer is relayed through mutual
+// neighbors learned from the connection tables exchanged in CTMs. The
+// resulting Connection registers in the conn table and ring index like any
+// other edge, so routing, keepalives and ring repair work unchanged.
+//
+// Tunnels self-maintain:
+//   - multi-relay lists fail over instantly (sendTunnel picks the first
+//     live relay), and relays are re-learned from incoming frame Via
+//     stamps and refreshed from later CTM exchanges;
+//   - a dying or suspected relay (close-forwarding's fast-failure signal)
+//     triggers pre-emptive relay re-selection, falling back to a CTM
+//     re-probe when no alternative is known;
+//   - every TunnelUpgradeInterval the overlord routes a CTM to the tunnel
+//     peer, re-running bidirectional direct linking with fresh URIs, so
+//     the tunnel upgrades in place to a direct edge the moment hole
+//     punching becomes possible.
+//
+// Like the repair overlord, it is event-driven: a node with no tunnels
+// costs nothing, and fault-free runs stay deterministic.
+type tunnelOverlord struct {
+	node *Node
+	// cands stashes, per remote peer, the URIs and connection-table
+	// excerpt most recently learned from a CTM exchange with it — the raw
+	// material for relay selection.
+	cands map[Addr]*candidateStash
+	// upgrades holds the armed direct-link upgrade timer per tunnel peer.
+	upgrades map[Addr]sim.Timer
+	// recruiting maps a relay candidate being linked (ConnType Relay) to
+	// the tunnel targets waiting on it — the path taken when no mutual
+	// neighbor exists yet and one must be recruited first.
+	recruiting map[Addr][]Addr
+	// recruited marks the Relay-type links this node initiated. Only the
+	// recruiting side may reap an idle Relay link: the relay itself holds
+	// no tunnel referencing the recruiter, so without the marker it would
+	// tear the link down as idle while the recruiter still depends on it.
+	recruited map[Addr]bool
+}
+
+// candidateStash is the tunnel-relevant content of one CTM exchange.
+type candidateStash struct {
+	uris   []URI
+	relays []NeighborInfo
+}
+
+func newTunnelOverlord(n *Node) *tunnelOverlord {
+	return &tunnelOverlord{
+		node:       n,
+		cands:      make(map[Addr]*candidateStash),
+		upgrades:   make(map[Addr]sim.Timer),
+		recruiting: make(map[Addr][]Addr),
+		recruited:  make(map[Addr]bool),
+	}
+}
+
+func (o *tunnelOverlord) start() {
+	n := o.node
+	n.OnConnection(o.onConnection)
+	n.OnDisconnection(o.onDisconnection)
+}
+
+// tunnelRole picks the role a tunnel-related CTM should request for an
+// existing connection: its most load-bearing structured role.
+func tunnelRole(c *Connection) ConnType {
+	switch {
+	case c.Has(StructuredNear):
+		return StructuredNear
+	case c.Has(StructuredFar):
+		return StructuredFar
+	case c.Has(Shortcut):
+		return Shortcut
+	}
+	return StructuredNear
+}
+
+// learnCandidates records the URIs and relay candidates a CTM exchange
+// with peer carried. If a tunnel edge to peer is live, any newly mutual
+// neighbors extend its relay list — the refresh that lets periodic upgrade
+// probes double as relay maintenance.
+func (o *tunnelOverlord) learnCandidates(peer Addr, uris []URI, relays []NeighborInfo) {
+	n := o.node
+	if peer == n.addr {
+		return
+	}
+	o.cands[peer] = &candidateStash{uris: uris, relays: relays}
+	c, ok := n.conns[peer]
+	if !ok || !c.Tunneled() {
+		return
+	}
+	for _, adv := range relays {
+		if len(c.Relays) >= n.cfg.TunnelMaxRelays {
+			break
+		}
+		if adv.Addr == n.addr || adv.Addr == peer {
+			continue
+		}
+		if rc, live := n.conns[adv.Addr]; live && !rc.closed && !rc.Tunneled() {
+			c.addRelay(adv.Addr)
+		}
+	}
+}
+
+// linkFailed consumes the linker's terminal-failure report. Busy races
+// retry on their own; a failed direct attempt toward a peer we hold a
+// tunnel to re-arms the upgrade probe; a failed attempt toward a wanted
+// structured-near neighbor we hold nothing to triggers tunnel
+// establishment — the linker→tunnel fallback itself.
+func (o *tunnelOverlord) linkFailed(target Addr, t ConnType, reason string) {
+	n := o.node
+	if !n.up || n.tun != o || reason == "busy" {
+		return
+	}
+	if t == Relay {
+		// A relay recruit failed: the waiting targets stay unserved until
+		// the next CTM exchange refreshes their candidate sets.
+		if waiting, ok := o.recruiting[target]; ok {
+			delete(o.recruiting, target)
+			n.Stats.Inc("tunnel.recruit_failed", int64(len(waiting)))
+		}
+		delete(o.recruited, target)
+		return
+	}
+	if c, ok := n.conns[target]; ok {
+		if c.Tunneled() {
+			o.armUpgrade(c)
+		}
+		return
+	}
+	if t != StructuredNear {
+		return // far/shortcut links are optimizations; no fallback needed
+	}
+	if n.near == nil || !n.near.wanted(target) {
+		return
+	}
+	o.establish(target)
+}
+
+// establish starts a tunnel toward target: through mutual neighbors when
+// the candidate exchange found any, otherwise by first recruiting a direct
+// Relay-type link to one of the target's neighbors.
+func (o *tunnelOverlord) establish(target Addr) {
+	n := o.node
+	st, ok := o.cands[target]
+	if !ok {
+		n.Stats.Inc("tunnel.nocandidate", 1)
+		return
+	}
+	var mutual []Addr
+	for _, adv := range st.relays {
+		if adv.Addr == n.addr || adv.Addr == target {
+			continue
+		}
+		if rc, live := n.conns[adv.Addr]; live && !rc.closed && !rc.Tunneled() {
+			mutual = append(mutual, adv.Addr)
+			if len(mutual) >= n.cfg.TunnelMaxRelays {
+				break
+			}
+		}
+	}
+	if len(mutual) > 0 {
+		n.Stats.Inc("tunnel.attempts", 1)
+		n.startTunnelLinker(target, mutual, st.uris, StructuredNear)
+		return
+	}
+	for _, adv := range st.relays {
+		if adv.Addr == n.addr || adv.Addr == target || len(adv.URIs) == 0 {
+			continue
+		}
+		if c, have := n.conns[adv.Addr]; have && c.Tunneled() {
+			continue // a tunneled neighbor cannot carry frames (no nesting)
+		}
+		already := false
+		for _, w := range o.recruiting[adv.Addr] {
+			if w == target {
+				already = true
+				break
+			}
+		}
+		if !already {
+			o.recruiting[adv.Addr] = append(o.recruiting[adv.Addr], target)
+		}
+		o.recruited[adv.Addr] = true
+		n.Stats.Inc("tunnel.recruit", 1)
+		n.startLinker(adv.Addr, adv.URIs, Relay)
+		return
+	}
+	n.Stats.Inc("tunnel.nocandidate", 1)
+}
+
+func (o *tunnelOverlord) onConnection(c *Connection) {
+	n := o.node
+	if n.tun != o {
+		return // stale callback from before a restart
+	}
+	if waiting, ok := o.recruiting[c.Peer]; ok && !c.Tunneled() {
+		// A recruited relay came up: serve the targets waiting on it.
+		delete(o.recruiting, c.Peer)
+		for _, target := range waiting {
+			if _, have := n.conns[target]; have {
+				continue
+			}
+			if n.near != nil && n.near.wanted(target) {
+				o.establish(target)
+			}
+		}
+	}
+	if c.Tunneled() {
+		o.armUpgrade(c)
+		return
+	}
+	// A direct edge confirmed (possibly an in-place tunnel upgrade):
+	// upgrade probing is over, the stash is stale, and relays recruited on
+	// this peer's behalf may now be idle.
+	o.cancelUpgrade(c.Peer)
+	delete(o.cands, c.Peer)
+	o.reapRelays()
+}
+
+func (o *tunnelOverlord) onDisconnection(c *Connection) {
+	n := o.node
+	if n.tun != o {
+		return // stale callback from before a restart
+	}
+	o.cancelUpgrade(c.Peer)
+	delete(o.recruited, c.Peer)
+	if !c.Tunneled() {
+		// A direct link died; it may have been carrying tunnels.
+		o.relayLost(c.Peer)
+	}
+	o.reapRelays()
+}
+
+// relayLost prunes a dead relay from every tunnel edge using it. A tunnel
+// left with no relays cannot carry frames and must not linger looking like
+// a direct edge, so it is dropped and a CTM re-probe rebuilds the link —
+// as a tunnel through fresh relays, or directly if the world has changed.
+func (o *tunnelOverlord) relayLost(dead Addr) {
+	n := o.node
+	for _, tc := range n.Connections() {
+		if tc.closed || !tc.Tunneled() || !tc.removeRelay(dead) {
+			continue
+		}
+		n.Stats.Inc("tunnel.relay_lost", 1)
+		o.recoverOrDrop(tc)
+	}
+}
+
+// recoverOrDrop handles a tunnel edge that just lost one relay: remaining
+// relays take over seamlessly; otherwise the stash refills the list; as a
+// last resort the edge is dropped and a CTM re-probe rebuilds the link in
+// whatever form the current NAT situation permits.
+func (o *tunnelOverlord) recoverOrDrop(tc *Connection) {
+	n := o.node
+	if len(tc.Relays) > 0 {
+		return
+	}
+	if o.refill(tc) {
+		n.Stats.Inc("tunnel.relay_reselected", 1)
+		return
+	}
+	role := tunnelRole(tc)
+	peer := tc.Peer
+	n.dropConnection(tc, false, "norelay")
+	o.reprobe(peer, role)
+}
+
+// noRoute consumes a relay's bounce: the relay has no direct connection to
+// the tunnel peer, so every frame sent through it is being dropped. Prune
+// it from that edge now — the alternative is waiting for the keepalive to
+// time the whole edge out.
+func (o *tunnelOverlord) noRoute(relay, to Addr) {
+	n := o.node
+	if n.tun != o {
+		return
+	}
+	tc, ok := n.conns[to]
+	if !ok || tc.closed || !tc.Tunneled() || !tc.removeRelay(relay) {
+		return
+	}
+	n.Stats.Inc("tunnel.relay_bounced", 1)
+	o.recoverOrDrop(tc)
+}
+
+// relaySuspected reacts to a forwarded death verdict about a node serving
+// as a tunnel relay: edges with alternatives drop the suspect now (it is
+// re-learned from traffic if the verdict was wrong); an edge with no
+// alternative keeps it — the suspect may yet answer its fast probe — but
+// re-probes for fresh candidates immediately.
+func (o *tunnelOverlord) relaySuspected(dead Addr) {
+	n := o.node
+	if n.tun != o {
+		return
+	}
+	for _, tc := range n.Connections() {
+		if tc.closed || !tc.Tunneled() || !tc.hasRelay(dead) {
+			continue
+		}
+		if len(tc.Relays) > 1 {
+			tc.removeRelay(dead)
+			n.Stats.Inc("tunnel.relay_suspected", 1)
+			continue
+		}
+		o.reprobe(tc.Peer, tunnelRole(tc))
+	}
+}
+
+// refill restocks a tunnel edge's relay list from the stashed candidate
+// set; reports whether any relay is now listed.
+func (o *tunnelOverlord) refill(tc *Connection) bool {
+	n := o.node
+	st, ok := o.cands[tc.Peer]
+	if !ok {
+		return false
+	}
+	for _, adv := range st.relays {
+		if len(tc.Relays) >= n.cfg.TunnelMaxRelays {
+			break
+		}
+		if adv.Addr == n.addr || adv.Addr == tc.Peer {
+			continue
+		}
+		if rc, live := n.conns[adv.Addr]; live && !rc.closed && !rc.Tunneled() {
+			tc.addRelay(adv.Addr)
+		}
+	}
+	return len(tc.Relays) > 0
+}
+
+// reprobe routes a CTM to peer to refresh URIs and relay candidates; the
+// resulting bidirectional linking re-establishes the edge in whatever form
+// the current NAT situation permits.
+func (o *tunnelOverlord) reprobe(peer Addr, t ConnType) {
+	n := o.node
+	n.Stats.Inc("tunnel.reprobe", 1)
+	n.sendCTM(peer, t, DeliverExact, Zero)
+}
+
+// armUpgrade schedules the next direct-link upgrade probe for a tunnel
+// edge. The probe is a CTM to the tunnel peer: both sides then re-run
+// direct linking with fresh URIs (the hole-punching dance), and a success
+// upgrades the connection in place. Probing repeats every interval while
+// the edge stays tunneled and stops the moment it upgrades.
+func (o *tunnelOverlord) armUpgrade(c *Connection) {
+	n := o.node
+	if n.cfg.TunnelUpgradeInterval <= 0 {
+		return
+	}
+	peer := c.Peer
+	if _, armed := o.upgrades[peer]; armed {
+		return
+	}
+	o.upgrades[peer] = n.sim.After(n.cfg.TunnelUpgradeInterval, func() {
+		delete(o.upgrades, peer)
+		if !n.up || n.tun != o {
+			return
+		}
+		tc, ok := n.conns[peer]
+		if !ok || tc.closed || !tc.Tunneled() {
+			return
+		}
+		n.Stats.Inc("tunnel.upgrade_probes", 1)
+		o.armUpgrade(tc)
+		n.sendCTM(peer, tunnelRole(tc), DeliverExact, Zero)
+	})
+}
+
+// cancelUpgrade disarms the upgrade timer for peer, if any.
+func (o *tunnelOverlord) cancelUpgrade(peer Addr) {
+	if t, ok := o.upgrades[peer]; ok {
+		t.Cancel()
+		delete(o.upgrades, peer)
+	}
+}
+
+// reapRelays drops the Relay role from connections no tunnel edge, active
+// tunnel-mode linker, or pending recruit references any more — recruited
+// relays exist only to carry frames and are not kept alive idle. Only
+// links this node itself recruited are eligible: the passive end of a
+// Relay link never references it and must leave teardown to the
+// recruiter. The
+// in-use set is computed by membership (map iteration order is irrelevant
+// to the outcome); the drop loop walks in address order for determinism.
+func (o *tunnelOverlord) reapRelays() {
+	n := o.node
+	inUse := make(map[Addr]bool)
+	for _, c := range n.conns {
+		for _, r := range c.Relays {
+			inUse[r] = true
+		}
+	}
+	for _, lk := range n.linkers {
+		for _, r := range lk.relays {
+			inUse[r] = true
+		}
+	}
+	for r := range o.recruiting {
+		inUse[r] = true
+	}
+	for _, c := range n.Connections() {
+		if c.Has(Relay) && !inUse[c.Peer] && o.recruited[c.Peer] {
+			delete(o.recruited, c.Peer)
+			n.Stats.Inc("tunnel.relay_reaped", 1)
+			n.dropConnRole(c, Relay, "idle")
+		}
+	}
+}

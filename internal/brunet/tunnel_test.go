@@ -1,0 +1,214 @@
+package brunet
+
+import (
+	"fmt"
+	"testing"
+
+	"wow/internal/natsim"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// natRig extends overlayRig with per-node NAT handles so tests can kill
+// relays, relax NAT disciplines mid-run, and inspect mappings.
+type natRig struct {
+	*overlayRig
+	nats map[Addr]*natsim.NAT
+}
+
+// addNATed starts a node behind a fresh per-host NAT of the given type,
+// bootstrapping off the rig's first node.
+func (r *natRig) addNATed(t *testing.T, name string, typ natsim.NATType) *Node {
+	t.Helper()
+	nat := natsim.NewNAT(name+"-nat", natsim.Config{Type: typ}, r.net.Root().NextIP(), r.s.Now)
+	base := phys.MustParseIP(fmt.Sprintf("10.%d.0.2", len(r.nodes)))
+	realm := r.net.AddRealm(name, r.net.Root(), nat, base)
+	h := r.net.AddHost(name+"-host", r.site, realm, phys.HostConfig{})
+	n := NewNode(h, AddrFromString(name), FastTestConfig())
+	if err := n.Start([]URI{r.nodes[0].BootstrapURI()}); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	r.nodes = append(r.nodes, n)
+	r.nats[n.Addr()] = nat
+	return n
+}
+
+// buildSymmetricRing builds an overlay of a few public routers plus many
+// nodes each behind its own symmetric NAT. With more symmetric nodes than
+// routers, the ring necessarily contains symmetric-symmetric adjacencies,
+// and those near links can only be closed by tunnel edges: symmetric NATs
+// on both sides defeat hole punching outright.
+func buildSymmetricRing(t *testing.T, seed int64, routers, symmetric int) *natRig {
+	t.Helper()
+	r := &natRig{overlayRig: newOverlayRig(seed), nats: map[Addr]*natsim.NAT{}}
+	for i := 0; i < routers; i++ {
+		r.addPublic(t, fmt.Sprintf("router%02d", i), FastTestConfig())
+		r.s.RunFor(2 * sim.Second)
+	}
+	for i := 0; i < symmetric; i++ {
+		r.addNATed(t, fmt.Sprintf("sym%02d", i), natsim.Symmetric)
+		r.s.RunFor(2 * sim.Second)
+	}
+	r.s.RunFor(4 * sim.Minute)
+	return r
+}
+
+// tunneledNearConn returns some node holding a tunneled structured-near
+// connection, with that connection.
+func (r *natRig) tunneledNearConn() (*Node, *Connection) {
+	for _, n := range r.ringOrder() {
+		for _, c := range n.Connections() {
+			if c.Tunneled() && c.Has(StructuredNear) {
+				return n, c
+			}
+		}
+	}
+	return nil, nil
+}
+
+// nodeByAddr finds a rig node by overlay address.
+func (r *natRig) nodeByAddr(a Addr) *Node {
+	for _, n := range r.nodes {
+		if n.Addr() == a {
+			return n
+		}
+	}
+	return nil
+}
+
+// totalStat sums a counter across every node in the rig.
+func (r *natRig) totalStat(name string) int64 {
+	var tot int64
+	for _, n := range r.nodes {
+		tot += n.Stats.Get(name)
+	}
+	return tot
+}
+
+// A ring of symmetric-NATed nodes converges to full structured-ring
+// consistency by falling back to tunnel edges, and application traffic
+// routes across those edges.
+func TestSymmetricNATRingUsesTunnels(t *testing.T) {
+	r := buildSymmetricRing(t, 21, 3, 8)
+	for _, n := range r.nodes {
+		if !n.IsRoutable() {
+			t.Fatalf("node %s not routable", n.Addr())
+		}
+	}
+	assertRingConsistent(t, r.overlayRig)
+	if got := r.totalStat("tunnel.established"); got == 0 {
+		t.Fatal("no tunnels established in an all-symmetric ring")
+	}
+	n, c := r.tunneledNearConn()
+	if n == nil {
+		t.Fatal("no live tunneled near connection")
+	}
+	if tr := c.Transport(); tr != "tunnel" {
+		t.Fatalf("tunneled conn transport = %q, want tunnel", tr)
+	}
+	// App traffic must cross the tunnel edge in both directions.
+	peer := r.nodeByAddr(c.Peer)
+	got := 0
+	n.RegisterProto("t", func(src Addr, d AppData) { got++ })
+	peer.RegisterProto("t", func(src Addr, d AppData) { got++ })
+	n.SendTo(peer.Addr(), DeliverExact, AppData{Proto: "t", Size: 10})
+	peer.SendTo(n.Addr(), DeliverExact, AppData{Proto: "t", Size: 10})
+	r.s.RunFor(10 * sim.Second)
+	if got != 2 {
+		t.Fatalf("tunnel traffic: %d/2 packets delivered", got)
+	}
+}
+
+// Killing the relay a tunnel is currently using must not strand the edge:
+// the endpoints fail over to another relay (or re-establish through one)
+// and the ring stays consistent.
+func TestTunnelRelayFailover(t *testing.T) {
+	r := buildSymmetricRing(t, 22, 3, 8)
+	n, c := r.tunneledNearConn()
+	if n == nil {
+		t.Fatal("no tunneled near connection to test")
+	}
+	peer := c.Peer
+	rc := n.liveRelay(c)
+	if rc == nil {
+		t.Fatal("tunneled conn has no live relay")
+	}
+	relayNode := r.nodeByAddr(rc.Peer)
+	if relayNode == nil {
+		t.Fatalf("relay %s is not a rig node", rc.Peer)
+	}
+	relayNode.Stop()
+	r.s.RunFor(2 * sim.Minute)
+
+	if lost := r.totalStat("tunnel.relay_lost") + r.totalStat("tunnel.relay_suspected"); lost == 0 {
+		t.Fatal("relay death never detected by tunnel overlord")
+	}
+	nc := n.ConnectionTo(peer)
+	if nc == nil || !nc.Has(StructuredNear) {
+		t.Fatalf("near link to %s did not survive relay death (conn=%v)", peer, nc)
+	}
+	assertRingConsistent(t, r.overlayRig)
+	// Traffic still flows between the endpoints.
+	pn := r.nodeByAddr(peer)
+	got := false
+	pn.RegisterProto("t", func(src Addr, d AppData) { got = true })
+	n.SendTo(peer, DeliverExact, AppData{Proto: "t", Size: 10})
+	r.s.RunFor(10 * sim.Second)
+	if !got {
+		t.Fatal("traffic lost after relay failover")
+	}
+}
+
+// When both NATs relax mid-run (symmetric -> full cone), the periodic
+// upgrade probe must convert the tunnel to a direct edge in place: the
+// relay stamps each frame with the peer's fresh wire endpoint, so upgrade
+// linking dials an address that now accepts inbound traffic.
+func TestTunnelUpgradesWhenNATRelaxed(t *testing.T) {
+	r := buildSymmetricRing(t, 23, 3, 6)
+	n, c := r.tunneledNearConn()
+	if n == nil {
+		t.Fatal("no tunneled near connection to test")
+	}
+	peer := c.Peer
+	for _, a := range []Addr{n.Addr(), peer} {
+		nat, ok := r.nats[a]
+		if !ok {
+			t.Fatalf("tunnel endpoint %s has no NAT — tunnels should only pair NATed nodes", a)
+		}
+		nat.SetType(natsim.FullCone)
+	}
+	r.s.RunFor(2 * sim.Minute)
+
+	nc := n.ConnectionTo(peer)
+	if nc == nil || !nc.Has(StructuredNear) {
+		t.Fatalf("near link to %s lost during upgrade (conn=%v)", peer, nc)
+	}
+	if nc.Tunneled() {
+		t.Fatalf("conn to %s still tunneled after NATs relaxed (relays=%v)", peer, nc.Relays)
+	}
+	if got := r.totalStat("tunnel.upgraded"); got == 0 {
+		t.Fatal("tunnel.upgraded never counted")
+	}
+	assertRingConsistent(t, r.overlayRig)
+}
+
+// A peer that answers a link request addressed to somebody else (a NAT
+// rebind handed its endpoint to a new tenant) is a hard reject: the linker
+// skips the URI immediately and the give-up reason is "reject".
+func TestLinkGiveUpReasonReject(t *testing.T) {
+	r := buildRing(t, 24, 2)
+	a, b := r.nodes[0], r.nodes[1]
+	before := a.Stats.Get("link.giveup.reject")
+	// Dial b's real endpoint but name a target that is not b.
+	a.startLinker(AddrFromString("nobody-home"), []URI{b.BootstrapURI()}, Shortcut)
+	r.s.RunFor(30 * sim.Second)
+	if got := a.Stats.Get("link.uri_exhausted.reject"); got == 0 {
+		t.Fatal("link.uri_exhausted.reject not counted")
+	}
+	if got := a.Stats.Get("link.giveup.reject") - before; got != 1 {
+		t.Fatalf("link.giveup.reject = %d, want 1", got)
+	}
+	if got := a.Stats.Get("link.giveup.timeout"); got != 0 {
+		t.Fatalf("pure-reject failure counted link.giveup.timeout = %d", got)
+	}
+}

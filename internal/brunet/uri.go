@@ -30,6 +30,15 @@ func (u URI) IsZero() bool { return u.Transport == "" && u.EP.IsZero() }
 // uriSet is an ordered set of URIs: insertion order is preserved because
 // the linking protocol's trial order matters (§V-B explains the UFL delay
 // in terms of the NAT-assigned URI being tried first).
+//
+// The set is capped: a node behind a symmetric NAT is observed at a
+// different public port by every peer it handshakes with, so an unbounded
+// set would grow with the neighbor count and stretch every later linking
+// attempt by a full per-URI retry budget per stale entry. When full, the
+// oldest entry is evicted — old symmetric mappings expire at the NAT
+// anyway, and the freshest observations are the ones still live.
+const maxLearnedURIs = 4
+
 type uriSet struct {
 	list []URI
 	seen map[URI]bool
@@ -44,6 +53,10 @@ func (s *uriSet) add(u URI) bool {
 	}
 	if s.seen[u] {
 		return false
+	}
+	if len(s.list) >= maxLearnedURIs {
+		delete(s.seen, s.list[0])
+		s.list = append(s.list[:0], s.list[1:]...)
 	}
 	s.seen[u] = true
 	s.list = append(s.list, u)

@@ -6,44 +6,54 @@ import (
 	"testing"
 )
 
-// The golden-seed tests pin complete experiment summaries, byte for byte,
-// to values captured before the hot-path overhaul (ring-indexed routing,
-// comparator address math, pooled sim events and packets). Experiment
-// outputs are pure functions of the seed, so any drift here means a
-// routing or scheduling decision changed — the refactor contract is that
-// none did. The expected values live inline (not in a golden file) so a
-// diff shows exactly which protocol outcome moved.
+// The golden-seed tests pin complete experiment summaries, byte for byte.
+// Experiment outputs are pure functions of the seed, so any drift here
+// means a routing or scheduling decision changed. The expected values live
+// inline (not in a golden file) so a diff shows exactly which protocol
+// outcome moved. Re-captured with the tunnel-edge subsystem: CTMs now
+// carry relay-candidate lists (larger wire size shifts event timing), and
+// partition heal converges much faster — nodes that exhaust a partition
+// peer's stale URIs fall back to tunnel edges through already-healed
+// neighbors instead of waiting out further relink rounds, and a direct
+// dial from a tunneled peer wins linking races outright (recovery 88 s
+// versus 396 s before tunnels).
 
 const goldenFig8Seed5 = "Figure 8 / §V-D1: 120 PBS/MEME jobs, shortcuts enabled\n" +
-	"  wall-clock time: 146 s; throughput 49.2 jobs/minute\n" +
-	"  job wall time: mean 26.9 s, std 5.9 s (failed: 0)\n" +
+	"  wall-clock time: 149 s; throughput 48.5 jobs/minute\n" +
+	"  job wall time: mean 27.4 s, std 5.9 s (failed: 0)\n" +
 	"  execution-time histogram:\n" +
 	"       8 s:   0.0% \n" +
-	"      24 s:  93.3% ###########################################################################\n" +
-	"      40 s:   4.2% ###\n" +
+	"      24 s:  89.2% #######################################################################\n" +
+	"      40 s:   8.3% #######\n" +
 	"      56 s:   2.5% ##\n" +
 	"      72 s:   0.0% \n" +
 	"      88 s:   0.0% \n" +
-	"  job share by node: node032=1.7% node033=3.3% node034=1.7%\n"
+	"  job share by node: node032=1.7% node034=2.5%\n"
 
 const goldenPartitionHealSeed5 = "Partition repair: 180 s site cut (NWU + half of PlanetLab vs rest)\n" +
 	"  cut confirmed mid-window: true\n" +
 	"  all probe pairs recovered: true\n" +
-	"partition-heal           recovery: 396.0s\n" +
-	"  ping.dead              362\n" +
-	"  ping.stale             2\n" +
+	"partition-heal           recovery: 88.0s\n" +
+	"  ping.dead              388\n" +
+	"  ping.stale             0\n" +
 	"  ping.fast_probe        0\n" +
-	"  close.forwarded        2609\n" +
+	"  close.forwarded        2797\n" +
 	"  handoff.sent           0\n" +
 	"  handoff.received       0\n" +
 	"  handoff.linked         0\n" +
-	"  relink.attempts        1186\n" +
-	"  relink.success         261\n" +
+	"  relink.attempts        1156\n" +
+	"  relink.success         201\n" +
 	"  relink.giveup          0\n" +
-	"  link.giveup            117\n" +
+	"  link.giveup            33\n" +
 	"  fault timeline:\n" +
 	"    t=429.000s partition begin\n" +
 	"    t=609.000s partition end\n"
+
+const goldenSymRingSeed5 = "All-symmetric-NAT ring: 20 NATed + 3 public routers, seed 5\n" +
+	"  routable: 100.0%; ring: 0 missing near links (6 direct, 19 tunneled)\n" +
+	"  tunnels: 163 established, 18 upgraded; relays: 71 lost, 6 reselected\n" +
+	"  vip ping (sym ws <-> sym ws): 4/4\n" +
+	"  migration to public host: vip outage 26.4 s\n"
 
 // diffLine locates the first line where got and want diverge, for a
 // readable failure message.
@@ -76,6 +86,21 @@ func TestGoldenSeedPartitionHeal(t *testing.T) {
 	if got := res.String(); got != goldenPartitionHealSeed5 {
 		t.Errorf("partition-heal seed-5 summary drifted from pre-refactor baseline; %s\nfull output:\n%s",
 			diffLine(got, goldenPartitionHealSeed5), got)
+	}
+}
+
+// TestGoldenSeedSymRing pins the all-symmetric-NAT ring summary: tunnel
+// establishment, relay churn, in-place upgrades and the migration outage
+// are all pure functions of the seed, so drift here means the tunnel
+// subsystem's decisions moved.
+func TestGoldenSeedSymRing(t *testing.T) {
+	res, err := RunSymmetricRing(SymRingOpts{Seed: 5, Routers: 3, Nodes: 20, Pings: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != goldenSymRingSeed5 {
+		t.Errorf("symmetric-ring seed-5 summary drifted; %s\nfull output:\n%s",
+			diffLine(got, goldenSymRingSeed5), got)
 	}
 }
 

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNATMatrixTruthTable pins the traversal ground truth cell by cell:
+// every class pair must form its near link and deliver traffic, tunneling
+// exactly when a symmetric NAT faces a symmetric or port-restricted one.
+func TestNATMatrixTruthTable(t *testing.T) {
+	res, err := RunNATMatrix(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 15 {
+		t.Fatalf("cells = %d, want 15", len(res.Cells))
+	}
+	wantTunnel := map[string]bool{
+		"symmetric/symmetric":       true,
+		"port-restricted/symmetric": true,
+		"symmetric/port-restricted": true,
+	}
+	for _, c := range res.Cells {
+		key := c.A + "/" + c.B
+		if c.WantTunnel != wantTunnel[key] {
+			t.Errorf("%s: ground truth says tunnel=%v, experiment table says %v",
+				key, wantTunnel[key], c.WantTunnel)
+		}
+		if !c.Connected {
+			t.Errorf("%s: near link never formed", key)
+		}
+		if !c.Delivered {
+			t.Errorf("%s: end-to-end delivery failed", key)
+		}
+		if c.Tunneled != c.WantTunnel {
+			t.Errorf("%s: tunneled=%v, want %v", key, c.Tunneled, c.WantTunnel)
+		}
+	}
+	if res.Failures() != 0 {
+		t.Errorf("matrix reports %d mismatches:\n%s", res.Failures(), res)
+	}
+}
+
+// TestRunSymmetricRing exercises the all-symmetric run at a unit-test
+// size: the ring must fully assemble over tunnel edges, route VIP pings
+// between NATed workstations, and recover quickly from a migration.
+func TestRunSymmetricRing(t *testing.T) {
+	res, err := RunSymmetricRing(SymRingOpts{Seed: 5, Routers: 3, Nodes: 20, Pings: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutableFrac != 1 {
+		t.Errorf("routable fraction = %.3f, want 1.0", res.RoutableFrac)
+	}
+	if res.MissingNear != 0 {
+		t.Errorf("%d missing near links", res.MissingNear)
+	}
+	if res.TunnelNear == 0 {
+		t.Error("no tunneled near edges in an all-symmetric ring")
+	}
+	if res.TunnelsEstablished == 0 {
+		t.Error("tunnel.established never counted")
+	}
+	if res.PingOK != res.PingsSent {
+		t.Errorf("vip pings: %d/%d", res.PingOK, res.PingsSent)
+	}
+	if res.MigOutageSec < 0 || res.MigOutageSec > 60 {
+		t.Errorf("migration outage %.1f s, want fast recovery", res.MigOutageSec)
+	}
+	if !strings.Contains(res.String(), "All-symmetric-NAT ring") {
+		t.Errorf("summary malformed:\n%s", res)
+	}
+}

@@ -66,6 +66,7 @@ type mapKey struct {
 }
 
 type mapping struct {
+	key      mapKey
 	inner    phys.Endpoint
 	public   phys.Endpoint
 	lastUsed sim.Time
@@ -121,6 +122,14 @@ func (n *NAT) Name() string { return n.name }
 // Type returns the NAT discipline.
 func (n *NAT) Type() NATType { return n.cfg.Type }
 
+// SetType changes the NAT discipline in place, modelling a reconfigured or
+// replaced middlebox (e.g. an admin relaxing a symmetric NAT to full-cone).
+// Existing mappings survive; flows established under the old discipline
+// keep their translations while new lookups follow the new key/filter
+// rules. Used by the tunnel-upgrade experiments: a tunnel edge must
+// upgrade itself to a direct edge once the NAT allows hole punching.
+func (n *NAT) SetType(t NATType) { n.cfg.Type = t }
+
 // Rebind flushes every translation table entry, modelling the NAT
 // IP/port translation changes the paper observed on the home-broadband
 // node034 (§V-E): ISP-driven re-binding that invalidates all established
@@ -131,14 +140,19 @@ func (n *NAT) Rebind() {
 	n.byPublic = make(map[pubKey]*mapping)
 }
 
-// Mappings reports the number of live (unexpired) mappings.
+// Mappings reports the number of live (unexpired) mappings, reaping
+// expired entries as it goes so the translation table doesn't accumulate
+// dead flows between packets.
 func (n *NAT) Mappings() int {
 	now := n.clock()
 	live := 0
-	for _, m := range n.byKey {
+	for k, m := range n.byKey {
 		if now.Sub(m.lastUsed) <= n.cfg.MappingTTL {
 			live++
+			continue
 		}
+		delete(n.byKey, k)
+		delete(n.byPublic, pubKey{k.proto, m.public.Port})
 	}
 	return live
 }
@@ -183,6 +197,7 @@ func (n *NAT) lookupOrCreate(now sim.Time, proto uint8, inner, dst phys.Endpoint
 	}
 	if !ok {
 		m = &mapping{
+			key:    k,
 			inner:  inner,
 			public: phys.Endpoint{IP: n.publicIP, Port: n.allocPort(proto)},
 			peers:  make(map[phys.IP]map[uint16]bool),
@@ -215,7 +230,14 @@ func (n *NAT) Outbound(now sim.Time, p *phys.Packet) bool {
 // the type's filtering discipline.
 func (n *NAT) Inbound(now sim.Time, p *phys.Packet) bool {
 	m, ok := n.byPublic[pubKey{p.Proto, p.Dst.Port}]
-	if !ok || now.Sub(m.lastUsed) > n.cfg.MappingTTL {
+	if ok && now.Sub(m.lastUsed) > n.cfg.MappingTTL {
+		// Expired mapping: reap it now; the packet is dropped exactly as
+		// if the entry had never existed.
+		delete(n.byKey, m.key)
+		delete(n.byPublic, pubKey{p.Proto, m.public.Port})
+		ok = false
+	}
+	if !ok {
 		n.Drops["nomapping"]++
 		return false
 	}

@@ -481,6 +481,99 @@ func TestMappingExpiry(t *testing.T) {
 	}
 }
 
+// Keepalives sent below the idle-expiry interval hold a mapping open
+// indefinitely: after many TTL multiples of sub-TTL traffic the peer can
+// still reach the inside host through the original public endpoint. This
+// is the contract overlay keepalive pings depend on (PingInterval must sit
+// under the deployment's NAT timeout).
+func TestKeepaliveSustainsMapping(t *testing.T) {
+	r := newRig(1)
+	peer := r.publicHost("peer")
+	ttl := 30 * sim.Second
+	realm, nat := r.natRealm("nat", Config{Type: PortRestricted, MappingTTL: ttl}, r.net.Root(), "10.0.0.1")
+	inside := r.net.AddHost("inside", r.site, realm, phys.HostConfig{})
+
+	var pubs []phys.Endpoint
+	ps, _ := peer.Listen(600)
+	ps.OnRecv = func(p *phys.Packet) { pubs = append(pubs, p.Src) }
+	is, _ := inside.Listen(100)
+	rcvd := 0
+	is.OnRecv = func(p *phys.Packet) { rcvd++ }
+
+	// Keepalive at TTL/2 for 10×TTL of virtual time.
+	for i := 0; i < 20; i++ {
+		is.Send(phys.Endpoint{IP: peer.IP(), Port: 600}, 10, nil)
+		r.s.RunUntil(r.s.Now().Add(ttl / 2))
+	}
+	if len(pubs) != 20 {
+		t.Fatalf("keepalives delivered = %d, want 20", len(pubs))
+	}
+	for _, p := range pubs[1:] {
+		if p != pubs[0] {
+			t.Fatalf("mapping churned under keepalive: %v vs %v", p, pubs[0])
+		}
+	}
+	if nat.Mappings() != 1 {
+		t.Fatalf("live mappings = %d, want 1", nat.Mappings())
+	}
+	// The peer can still reach inside through the original endpoint.
+	ps.Send(pubs[0], 10, nil)
+	r.s.Run()
+	if rcvd != 1 {
+		t.Fatal("sustained mapping rejected inbound")
+	}
+}
+
+// SetType relaxes the discipline in place: flows created while the NAT was
+// symmetric used per-destination ports, and after relaxing to full-cone a
+// brand-new outbound flow gets one stable mapping a third party can use.
+func TestSetTypeRelaxesFiltering(t *testing.T) {
+	r := newRig(1)
+	p1 := r.publicHost("p1")
+	p2 := r.publicHost("p2")
+	third := r.publicHost("third")
+	realm, nat := r.natRealm("nat", Config{Type: Symmetric}, r.net.Root(), "10.0.0.1")
+	inside := r.net.AddHost("inside", r.site, realm, phys.HostConfig{})
+
+	var e1, e2 phys.Endpoint
+	s1, _ := p1.Listen(700)
+	s1.OnRecv = func(p *phys.Packet) { e1 = p.Src }
+	s2, _ := p2.Listen(700)
+	s2.OnRecv = func(p *phys.Packet) { e2 = p.Src }
+	isock, _ := inside.Listen(100)
+	rcvd := 0
+	isock.OnRecv = func(p *phys.Packet) { rcvd++ }
+	isock.Send(phys.Endpoint{IP: p1.IP(), Port: 700}, 10, nil)
+	isock.Send(phys.Endpoint{IP: p2.IP(), Port: 700}, 10, nil)
+	r.s.Run()
+	if e1.Port == e2.Port {
+		t.Fatal("symmetric phase reused the public port")
+	}
+
+	// Relax to full-cone: a fresh flow from a new inner port maps once,
+	// and an unrelated third party can send through it.
+	nat.SetType(FullCone)
+	if nat.Type() != FullCone {
+		t.Fatal("SetType did not take")
+	}
+	var e3 phys.Endpoint
+	s1.OnRecv = func(p *phys.Packet) { e3 = p.Src }
+	is2, _ := inside.Listen(101)
+	got := 0
+	is2.OnRecv = func(p *phys.Packet) { got++ }
+	is2.Send(phys.Endpoint{IP: p1.IP(), Port: 700}, 10, nil)
+	r.s.Run()
+	if e3.IsZero() {
+		t.Fatal("post-relax flow not delivered")
+	}
+	tsock, _ := third.Listen(0)
+	tsock.Send(e3, 10, nil)
+	r.s.Run()
+	if got != 1 {
+		t.Fatal("full-cone mapping filtered a third party after SetType")
+	}
+}
+
 func TestFirewallPinholes(t *testing.T) {
 	r := newRig(1)
 	outsider := r.publicHost("outsider")

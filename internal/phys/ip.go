@@ -95,4 +95,7 @@ type Packet struct {
 	dest *Host
 	// nextFree links the Network's packet free list.
 	nextFree *Packet
+	// poisoned marks a released packet under the packetdebug build tag;
+	// the debug pool panics when one re-enters the delivery pipeline.
+	poisoned bool
 }

@@ -132,27 +132,6 @@ type Network struct {
 	statDelivered metrics.Handle
 }
 
-// acquirePacket takes a packet from the free list, or allocates one.
-func (n *Network) acquirePacket() *Packet {
-	p := n.freePkt
-	if p != nil {
-		n.freePkt = p.nextFree
-		p.nextFree = nil
-		return p
-	}
-	return &Packet{}
-}
-
-// releasePacket retires a packet to the free list once its delivery (or
-// drop) callback has returned. Payload and dest are cleared so the pool
-// never pins payload objects or hosts.
-func (n *Network) releasePacket(p *Packet) {
-	p.Payload = nil
-	p.dest = nil
-	p.nextFree = n.freePkt
-	n.freePkt = p
-}
-
 // NewNetwork creates a network with the given latency model. The root
 // (public) realm allocates IPs starting at 128.0.0.1.
 func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
@@ -273,6 +252,7 @@ func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
 // middleboxes. The final translated packet is handed to the destination
 // socket's receive callback.
 func (n *Network) send(src *Host, p *Packet) {
+	checkPacketLive(p, "send")
 	now := n.Sim.Now()
 	if p.Proto == 0 {
 		p.Proto = WireUDP
@@ -329,6 +309,7 @@ func (n *Network) send(src *Host, p *Packet) {
 // schedules it without a closure allocation per packet.
 func deliverPacket(a any) {
 	p := a.(*Packet)
+	checkPacketLive(p, "deliver")
 	p.dest.receive(p)
 }
 

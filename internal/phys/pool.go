@@ -1,0 +1,32 @@
+//go:build !packetdebug
+
+package phys
+
+// This file is the production packet pool. Build with -tags packetdebug to
+// swap in pool_debug.go, which disables reuse and turns pool misuse
+// (double release, use after release) into panics.
+
+// acquirePacket takes a packet from the free list, or allocates one.
+func (n *Network) acquirePacket() *Packet {
+	p := n.freePkt
+	if p != nil {
+		n.freePkt = p.nextFree
+		p.nextFree = nil
+		return p
+	}
+	return &Packet{}
+}
+
+// releasePacket retires a packet to the free list once its delivery (or
+// drop) callback has returned. Payload and dest are cleared so the pool
+// never pins payload objects or hosts.
+func (n *Network) releasePacket(p *Packet) {
+	p.Payload = nil
+	p.dest = nil
+	p.nextFree = n.freePkt
+	n.freePkt = p
+}
+
+// checkPacketLive is a no-op in production builds; the debug build panics
+// when a released packet re-enters the delivery pipeline.
+func checkPacketLive(p *Packet, where string) {}

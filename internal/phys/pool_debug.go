@@ -1,0 +1,40 @@
+//go:build packetdebug
+
+package phys
+
+import "fmt"
+
+// Debug packet pool: a misuse detector for the pooled *Packet lifecycle.
+// Holding a *Packet beyond its OnRecv/OnDrop callback is a bug — the pool
+// will recycle it and the fields will silently mutate under the holder.
+// Under -tags packetdebug packets are never reused: releasePacket poisons
+// the packet instead of pooling it, a second release panics, and a
+// poisoned packet re-entering the delivery pipeline (send, deliver, drop)
+// panics at the checkpoint. CI runs the phys tests with this tag under
+// -race so both misuse classes surface loudly.
+
+// acquirePacket always allocates: released packets stay poisoned forever,
+// so any retained pointer keeps tripping checks instead of aliasing a
+// recycled packet.
+func (n *Network) acquirePacket() *Packet { return &Packet{} }
+
+// releasePacket poisons the packet. Fields are scrambled to obviously
+// wrong values so even unchecked reads of a stale pointer misbehave
+// deterministically rather than reading recycled data.
+func (n *Network) releasePacket(p *Packet) {
+	if p.poisoned {
+		panic(fmt.Sprintf("phys: double release of packet %s->%s proto=%d", p.Src, p.Dst, p.Proto))
+	}
+	p.poisoned = true
+	p.Src, p.Dst = Endpoint{}, Endpoint{}
+	p.Size = -1
+	p.Payload = "phys: use of released packet"
+	p.dest = nil
+}
+
+// checkPacketLive panics if a released packet re-enters the pipeline.
+func checkPacketLive(p *Packet, where string) {
+	if p.poisoned {
+		panic("phys: use of released packet in " + where)
+	}
+}
