@@ -25,8 +25,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
-	nodes := flag.Int("nodes", 2000, "overlay size for the scale harness (1000-5000)")
+	nodes := flag.Int("nodes", 2000, "overlay size for the scale harness (1000-20000)")
 	packets := flag.Int("packets", 2000, "routed packets measured by the scale harness")
+	shards := flag.Int("shards", 0, "scale harness: run on this many event shards (0/1 = single queue)")
+	workers := flag.Int("workers", 0, "scale harness: worker goroutines for sharded runs (0 = min(shards, GOMAXPROCS))")
+	batch := flag.Int("batch", 0, "scale harness: batched-bootstrap batch size (0 = serial joins, or 256 when -shards > 1)")
+	settle := flag.Float64("settle", 0, "scale harness: convergence settle time in virtual seconds (0 = default 120)")
+	wan := flag.Float64("wan", 0, "scale harness: one-way inter-site latency in ms for parallel builds (0 = default 30; also the shard lookahead)")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full trial counts (slower)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment on stdout")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
@@ -243,9 +248,29 @@ func main() {
 			show("symmetric-ring", sr, err)
 		})
 	}
-	if section("scale", "Scale harness: 1k-5k-node overlay, routing hot path") {
+	if section("scale", "Scale harness: 1k-20k-node overlay, routing hot path") {
 		timed(func() {
-			res, err := experiments.RunScale(experiments.ScaleOpts{Seed: *seed, Nodes: *nodes, Packets: *packets})
+			opts := experiments.ScaleOpts{
+				Seed: *seed, Nodes: *nodes, Packets: *packets,
+				Shards: *shards, Workers: *workers, BatchJoin: *batch,
+				Settle:     experiments.SettleSeconds(*settle),
+				WANLatency: experiments.Milliseconds(*wan),
+			}
+			// Batched builds stream a joins/sec-over-build-time series: one
+			// scale.series JSONL row per batch in -json mode, a narrated
+			// progress line otherwise.
+			opts.OnProgress = func(p experiments.ScalePoint) {
+				if *jsonOut {
+					line, _ := json.Marshal(map[string]any{
+						"experiment": "scale.series", "seed": *seed, "data": p,
+					})
+					fmt.Println(string(line))
+					return
+				}
+				fmt.Fprintf(narrate, "  t=%6.0fs virt  %6d joined  %7.1f joins/s wall  %12d events\n",
+					p.VirtualSec, p.Joined, p.JoinsPerSec, p.Events)
+			}
+			res, err := experiments.RunScale(opts)
 			show("scale", res, err)
 		})
 	}

@@ -156,6 +156,15 @@ const (
 )
 
 // OverlayPacket is a packet routed greedily over overlay connections.
+//
+// Packets originated by SendTo are pooled per node: the AppData payload is
+// stored in the packet's own app field and Payload points at it (boxing a
+// pointer allocates nothing), and whichever node terminates the packet
+// releases it into its own free list. Handlers therefore must not retain
+// the AppData (or pointers into it) past the delivery callback. Packets
+// carrying protocol messages (CTMs, replies) are never pooled — they are
+// allocated per message and may be copied freely (handleCTMRequest's
+// pass-across relies on that).
 type OverlayPacket struct {
 	Src, Dst Addr
 	Mode     DeliveryMode
@@ -163,6 +172,14 @@ type OverlayPacket struct {
 	MaxHops  int
 	Size     int
 	Payload  any
+
+	// app is the inline AppData of a pooled packet; Payload aliases it.
+	app AppData
+	// pooled marks packets owned by the origination pool; only these are
+	// released at the routing terminal.
+	pooled bool
+	// nextFree links a node's packet free list.
+	nextFree *OverlayPacket
 }
 
 // ctmRequest is the Connect-To-Me message of the connection protocol

@@ -246,6 +246,37 @@ type Node struct {
 	statDeadLetter     metrics.Handle
 	statNoProto        metrics.Handle
 	statUnknownOverlay metrics.Handle
+
+	// freePkt heads the node's OverlayPacket origination pool (see
+	// OverlayPacket): packets SendTo creates come from here and whichever
+	// node terminates one releases it into its own list. Node-local lists
+	// keep the pool shard-safe under the parallel engine.
+	freePkt *OverlayPacket
+}
+
+// acquirePkt takes a packet from the origination pool, or allocates one.
+func (n *Node) acquirePkt() *OverlayPacket {
+	p := n.freePkt
+	if p != nil {
+		n.freePkt = p.nextFree
+		p.nextFree = nil
+		return p
+	}
+	return &OverlayPacket{}
+}
+
+// releasePkt retires a pooled packet at its routing terminal. Unpooled
+// packets (protocol messages, externally built packets) pass through
+// untouched — their lifetime belongs to the garbage collector.
+func (n *Node) releasePkt(p *OverlayPacket) {
+	if !p.pooled {
+		return
+	}
+	p.pooled = false
+	p.Payload = nil
+	p.app = AppData{}
+	p.nextFree = n.freePkt
+	n.freePkt = p
 }
 
 // NewNode creates a node with the given overlay address on a physical
@@ -645,14 +676,17 @@ func (n *Node) SendTo(dst Addr, mode DeliveryMode, d AppData) {
 	if !n.up {
 		return
 	}
-	pkt := &OverlayPacket{
-		Src:     n.addr,
-		Dst:     dst,
-		Mode:    mode,
-		MaxHops: n.cfg.MaxHops,
-		Size:    overlayHdrSize + d.Size,
-		Payload: d,
-	}
+	// Pooled origination: the AppData lives inside the packet and Payload
+	// boxes a pointer to it, so a SendTo on the hot path allocates nothing
+	// once the pool is warm.
+	pkt := n.acquirePkt()
+	pkt.Src, pkt.Dst, pkt.Mode = n.addr, dst, mode
+	pkt.Hops = 0
+	pkt.MaxHops = n.cfg.MaxHops
+	pkt.Size = overlayHdrSize + d.Size
+	pkt.app = d
+	pkt.Payload = &pkt.app
+	pkt.pooled = true
 	if n.sco != nil {
 		n.sco.observe(dst, 1)
 	}
@@ -666,20 +700,24 @@ func (n *Node) SendTo(dst Addr, mode DeliveryMode, d AppData) {
 // child's forwarding agent into the ring).
 func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 	if !n.up {
+		n.releasePkt(pkt)
 		return
 	}
 	if pkt.Dst == n.addr {
 		n.deliver(pkt)
+		n.releasePkt(pkt)
 		return
 	}
 	if pkt.Hops >= pkt.MaxHops {
 		n.statHopsExceeded.Inc(1)
+		n.releasePkt(pkt)
 		return
 	}
 	best := n.nearestConn(pkt.Dst, from)
 	if best == nil || (best.Peer != pkt.Dst && pkt.Dst.CmpRingDist(best.Peer, n.addr) >= 0) {
 		// Nobody closer: we are the nearest live node.
 		n.deliver(pkt)
+		n.releasePkt(pkt)
 		return
 	}
 	pkt.Hops++
@@ -705,17 +743,27 @@ func (n *Node) deliver(pkt *OverlayPacket) {
 	case forwarded:
 		n.handleForwarded(m)
 	case AppData:
-		n.statDelivered.Inc(1)
-		if n.sco != nil {
-			n.sco.observe(pkt.Src, 1)
-		}
-		if h, ok := n.handlers[m.Proto]; ok {
-			h(pkt.Src, m)
-		} else {
-			n.statNoProto.Inc(1)
-		}
+		n.deliverApp(pkt.Src, m)
+	case *AppData:
+		// Pooled packet: the AppData is inline in the packet; hand the
+		// handler a copy, since the packet is released right after this.
+		n.deliverApp(pkt.Src, *m)
 	default:
 		n.statUnknownOverlay.Inc(1)
+	}
+}
+
+// deliverApp dispatches delivered application data to its protocol
+// handler.
+func (n *Node) deliverApp(src Addr, m AppData) {
+	n.statDelivered.Inc(1)
+	if n.sco != nil {
+		n.sco.observe(src, 1)
+	}
+	if h, ok := n.handlers[m.Proto]; ok {
+		h(src, m)
+	} else {
+		n.statNoProto.Inc(1)
 	}
 }
 
@@ -815,7 +863,11 @@ func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) 
 	// neighbors").
 	if !exact && req.Type == StructuredNear && pkt.Dst == req.From && pkt.Hops < pkt.MaxHops {
 		if other := n.neighborAcross(req.From); other != nil {
+			// CTM packets are never pooled (see OverlayPacket), so this
+			// shallow copy cannot alias a pooled payload; clear the pool
+			// links anyway so the copy is self-evidently unpooled.
 			cp := *pkt
+			cp.pooled, cp.nextFree = false, nil
 			cp.Hops++
 			cp.Mode = DeliverExact
 			cp.Dst = other.Peer

@@ -227,3 +227,40 @@ func TestAllocFreeForwarding(t *testing.T) {
 		t.Errorf("allocs per forwarded packet = %.2f, want 0", avg)
 	}
 }
+
+// TestAllocFreeOrigination extends the hot-path guard to the SendTo
+// origination path: with the per-node OverlayPacket pool, originating an
+// application packet — pool acquire, inline AppData boxing, multi-hop
+// route, terminal release into the far node's pool — allocates nothing in
+// steady state. (The origination pool migrates packets from the sender's
+// free list to the terminal node's, so round-tripping traffic keeps both
+// pools warm.)
+func TestAllocFreeOrigination(t *testing.T) {
+	s, nodes := buildZeroLatencyRing(t, 11, 12)
+	src, dst := nodes[3], nodes[8]
+	delivered := 0
+	dst.RegisterProto("allocguard", func(Addr, AppData) { delivered++ })
+	src.RegisterProto("allocguard", func(Addr, AppData) {})
+	d := AppData{Proto: "allocguard", Size: 64}
+	send := func() {
+		// Round trip so pooled packets flow back: src's pool drains
+		// toward dst and dst's toward src, reaching a steady state.
+		src.SendTo(dst.Addr(), DeliverExact, d)
+		dst.SendTo(src.Addr(), DeliverExact, d)
+		s.RunUntil(s.Now())
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if delivered == 0 {
+		t.Fatal("warmup packets never delivered; measurement would be vacuous")
+	}
+	avg := testing.AllocsPerRun(200, send)
+	if raceEnabled {
+		t.Logf("allocs/origination under -race: %.2f (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("allocs per originated packet = %.2f, want 0 (2 sends/run)", avg)
+	}
+}

@@ -25,6 +25,15 @@ type Host struct {
 
 	txBusyUntil  sim.Time // uplink serialization
 	cpuBusyUntil sim.Time // receive-path CPU serialization
+
+	// shard/sim locate the host in a sharded network: all of the host's
+	// events run on shard's Simulator. In an unsharded network shard is 0
+	// and sim aliases net.Sim, so host code schedules uniformly.
+	shard int
+	sim   *sim.Simulator
+	// nextConnID allocates host-scoped stream connection IDs in sharded
+	// networks (a network-global counter would race across shards).
+	nextConnID uint64
 }
 
 // wirePortKey namespaces ports by wire protocol, as real hosts do: UDP
@@ -43,8 +52,15 @@ func (h *Host) Realm() *Realm { return h.realm }
 // Network returns the owning network.
 func (h *Host) Network() *Network { return h.net }
 
-// Sim returns the simulation clock shared by the network.
-func (h *Host) Sim() *sim.Simulator { return h.net.Sim }
+// Sim returns the simulator driving this host's events: the network's
+// shared clock, or the host's shard in a sharded network. Protocol stacks
+// schedule all their timers through it, which is what keeps a node's
+// entire state machine on its own shard.
+func (h *Host) Sim() *sim.Simulator { return h.sim }
+
+// Shard reports the engine shard owning this host's events; 0 when the
+// network is unsharded.
+func (h *Host) Shard() int { return h.shard }
 
 // Up reports whether the host is powered on.
 func (h *Host) Up() bool { return h.up }
@@ -74,9 +90,9 @@ func (h *Host) String() string {
 // receive runs the destination-side pipeline: CPU service-time queueing
 // with overload drops, then delivery to the bound socket.
 func (h *Host) receive(p *Packet) {
-	now := h.net.Sim.Now()
+	now := h.sim.Now()
 	if !h.up {
-		h.net.drop("lost.hostdown", p)
+		h.net.drop(h.shard, "lost.hostdown", p)
 		return
 	}
 	svc := sim.Duration(float64(h.cfg.ServiceTime) * h.cfg.LoadFactor)
@@ -85,12 +101,12 @@ func (h *Host) receive(p *Packet) {
 		start = h.cpuBusyUntil
 	}
 	if start.Sub(now) > h.cfg.QueueLimit {
-		h.net.drop("lost.overload", p)
+		h.net.drop(h.shard, "lost.overload", p)
 		return
 	}
 	done := start.Add(svc)
 	h.cpuBusyUntil = done
-	h.net.Sim.AtArg(done, finishReceive, p)
+	h.sim.AtArg(done, finishReceive, p)
 }
 
 // finishReceive is the CPU-service-done callback: package-level so AtArg
@@ -102,19 +118,19 @@ func finishReceive(a any) {
 	p := a.(*Packet)
 	h := p.dest
 	if !h.up {
-		h.net.drop("lost.hostdown", p)
+		h.net.drop(h.shard, "lost.hostdown", p)
 		return
 	}
 	sock, ok := h.socks[wirePortKey{p.Proto, p.Dst.Port}]
 	if !ok || sock.closed {
-		h.net.drop("lost.noport", p)
+		h.net.drop(h.shard, "lost.noport", p)
 		return
 	}
-	h.net.statDelivered.Inc(1)
+	h.net.deliveredSh[h.shard].Inc(1)
 	if sock.OnRecv != nil {
 		sock.OnRecv(p)
 	}
-	h.net.releasePacket(p)
+	h.net.releasePacket(h.shard, p)
 }
 
 // UDPSock is a bound wire socket on a host. Despite the name it serves
@@ -179,7 +195,7 @@ func (s *UDPSock) Send(dst Endpoint, size int, payload any) {
 	if s.closed || !s.host.up {
 		return
 	}
-	p := s.host.net.acquirePacket()
+	p := s.host.net.acquirePacket(s.host.shard)
 	p.Src, p.Dst, p.Proto, p.Size, p.Payload = s.LocalEndpoint(), dst, s.proto, size, payload
 	s.host.net.send(s.host, p)
 }

@@ -98,4 +98,11 @@ type Packet struct {
 	// poisoned marks a released packet under the packetdebug build tag;
 	// the debug pool panics when one re-enters the delivery pipeline.
 	poisoned bool
+	// ownerShard/releasedBy are maintained only under packetdebug: the
+	// shard whose free list currently owns the packet (re-stamped when a
+	// packet crosses shards through the engine's lanes) and the shard that
+	// released it, so cross-shard pool misuse panics with both parties
+	// named. Production builds never touch them.
+	ownerShard int32
+	releasedBy int32
 }

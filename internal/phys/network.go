@@ -29,11 +29,18 @@ type Boundary interface {
 }
 
 // Site is a network location. Path characteristics between two hosts are
-// looked up by their sites' indices in the network's latency model.
+// looked up by their sites' indices in the network's latency model. In a
+// sharded network every site (and so every host at it) belongs to one
+// shard of the parallel engine.
 type Site struct {
 	Name  string
 	Index int
+	shard int
 }
+
+// Shard reports which engine shard owns the site's events; always 0 in an
+// unsharded network.
+func (s *Site) Shard() int { return s.shard }
 
 // PathModel describes the wide-area path between two sites.
 type PathModel struct {
@@ -125,11 +132,20 @@ type Network struct {
 	root       *Realm
 	hosts      []*Host
 	nextConnID uint64
-	freePkt    *Packet
 
-	// statDelivered is the pre-resolved "delivered" cell, bumped once per
-	// packet on the delivery hot path.
-	statDelivered metrics.Handle
+	// engine is the parallel event engine of a sharded network; nil for
+	// the classic single-threaded network, where Sim drives everything.
+	engine *sim.Sharded
+	// shStats holds the per-shard drop/delivery counters of a sharded
+	// network; nil when unsharded. statsSh/deliveredSh are always
+	// populated: in the unsharded case they have one entry aliasing Stats,
+	// so the hot paths index by shard unconditionally.
+	shStats     *metrics.Sharded
+	statsSh     []*metrics.Counter
+	deliveredSh []metrics.Handle
+	// freePktSh is the per-shard packet free list: shard-local acquire and
+	// release, so pooling stays lock-free under parallel execution.
+	freePktSh []*Packet
 }
 
 // NewNetwork creates a network with the given latency model. The root
@@ -140,16 +156,91 @@ func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
 		Latency: latency,
 		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
 	}
-	n.statDelivered = n.Stats.Handle("delivered")
+	n.statsSh = []*metrics.Counter{&n.Stats}
+	n.deliveredSh = []metrics.Handle{n.Stats.Handle("delivered")}
+	n.freePktSh = make([]*Packet, 1)
 	return n
+}
+
+// NewShardedNetwork creates a network driven by a parallel sharded engine.
+// Sites are assigned to shards round-robin as they are added, hosts run on
+// their site's shard, and cross-shard packets travel through the engine's
+// deterministic lanes. Restrictions versus the classic network: only the
+// root realm (no NAT/firewall realms — middlebox state is not shard-safe),
+// and Stats must be read through TotalStats() (per-shard counters merge on
+// demand). Sim aliases shard 0 for code that only needs a clock between
+// runs.
+func NewShardedNetwork(eng *sim.Sharded, latency LatencyFunc) *Network {
+	n := &Network{
+		Sim:     eng.Shard(0),
+		Latency: latency,
+		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
+		engine:  eng,
+	}
+	k := eng.Shards()
+	n.shStats = metrics.NewSharded(k)
+	n.statsSh = make([]*metrics.Counter, k)
+	n.deliveredSh = make([]metrics.Handle, k)
+	for i := 0; i < k; i++ {
+		n.statsSh[i] = n.shStats.Shard(i)
+		n.deliveredSh[i] = n.statsSh[i].Handle("delivered")
+	}
+	n.freePktSh = make([]*Packet, k)
+	return n
+}
+
+// Sharded reports whether the network runs on a parallel engine.
+func (n *Network) Sharded() bool { return n.engine != nil }
+
+// Engine returns the parallel engine of a sharded network (nil otherwise).
+func (n *Network) Engine() *sim.Sharded { return n.engine }
+
+// TotalStats returns the fleet-wide delivery/drop counters: a merged view
+// of the per-shard counters in a sharded network, or a copy of Stats in an
+// unsharded one. Call between runs only.
+func (n *Network) TotalStats() metrics.Counter {
+	if n.shStats != nil {
+		return n.shStats.Merged()
+	}
+	var c metrics.Counter
+	c.Merge(&n.Stats)
+	return c
+}
+
+// CrossShardFloor computes the infimum of inter-shard one-way delivery
+// latency over all site pairs living on different shards: OneWay-Jitter
+// minimized over cross-shard pairs. This is the largest admissible
+// lookahead for the engine — any cross-shard packet departs at least this
+// far in the future. The second return is false when no site pair crosses
+// shards (single shard, or all sites mapped to one shard).
+func (n *Network) CrossShardFloor() (sim.Duration, bool) {
+	var floor sim.Duration
+	found := false
+	for _, a := range n.sites {
+		for _, b := range n.sites {
+			if a.shard == b.shard {
+				continue
+			}
+			pm := n.Latency(a, b)
+			f := pm.OneWay - pm.Jitter
+			if !found || f < floor {
+				floor, found = f, true
+			}
+		}
+	}
+	return floor, found
 }
 
 // Root returns the public Internet realm.
 func (n *Network) Root() *Realm { return n.root }
 
-// AddSite registers a new site.
+// AddSite registers a new site. In a sharded network sites are spread
+// round-robin over the engine's shards.
 func (n *Network) AddSite(name string) *Site {
 	s := &Site{Name: name, Index: len(n.sites)}
+	if n.engine != nil {
+		s.shard = s.Index % n.engine.Shards()
+	}
 	n.sites = append(n.sites, s)
 	return s
 }
@@ -157,6 +248,9 @@ func (n *Network) AddSite(name string) *Site {
 // AddRealm creates a private realm behind boundary, attached under outer.
 // Hosts added to it allocate IPs from ipBase upward.
 func (n *Network) AddRealm(name string, outer *Realm, boundary Boundary, ipBase IP) *Realm {
+	if n.engine != nil {
+		panic("phys: sharded networks support only the root realm (middlebox state is not shard-safe)")
+	}
 	r := &Realm{
 		Name:     name,
 		parent:   outer,
@@ -207,6 +301,11 @@ func (n *Network) AddHost(name string, site *Site, realm *Realm, cfg HostConfig)
 		up:        true,
 		socks:     make(map[wirePortKey]*UDPSock),
 		nextPorts: make(map[uint8]uint16),
+		shard:     site.shard,
+		sim:       n.Sim,
+	}
+	if n.engine != nil {
+		h.sim = n.engine.Shard(site.shard)
 	}
 	realm.hosts[ip] = h
 	n.hosts = append(n.hosts, h)
@@ -250,10 +349,13 @@ func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
 // send injects a packet from host src. It computes the delivery schedule
 // (transmission, propagation, destination CPU) and routes through
 // middleboxes. The final translated packet is handed to the destination
-// socket's receive callback.
+// socket's receive callback. All state it touches — sender clock and RNG,
+// shard counters, packet pool — belongs to the sender's shard, except the
+// final delivery schedule, which crosses shards through the engine when
+// the destination lives elsewhere.
 func (n *Network) send(src *Host, p *Packet) {
-	checkPacketLive(p, "send")
-	now := n.Sim.Now()
+	checkPacketLive(p, src.shard, "send")
+	now := src.sim.Now()
 	if p.Proto == 0 {
 		p.Proto = WireUDP
 	}
@@ -271,11 +373,11 @@ func (n *Network) send(src *Host, p *Packet) {
 
 	dst, reason := n.route(now, p, src.realm)
 	if dst == nil {
-		n.drop(reason, p)
+		n.drop(src.shard, reason, p)
 		return
 	}
 	if !dst.up {
-		n.drop("lost.hostdown", p)
+		n.drop(src.shard, "lost.hostdown", p)
 		return
 	}
 
@@ -284,17 +386,17 @@ func (n *Network) send(src *Host, p *Packet) {
 		var blackhole bool
 		pm, blackhole = n.Perturb(src, dst, pm)
 		if blackhole {
-			n.drop("lost.fault", p)
+			n.drop(src.shard, "lost.fault", p)
 			return
 		}
 	}
-	if pm.Loss > 0 && n.Sim.Rand().Float64() < pm.Loss {
-		n.drop("lost.wire", p)
+	if pm.Loss > 0 && src.sim.Rand().Float64() < pm.Loss {
+		n.drop(src.shard, "lost.wire", p)
 		return
 	}
 	prop := pm.OneWay
 	if pm.Jitter > 0 {
-		prop += sim.Duration(n.Sim.Rand().Int63n(int64(2*pm.Jitter))) - pm.Jitter
+		prop += sim.Duration(src.sim.Rand().Int63n(int64(2*pm.Jitter))) - pm.Jitter
 		if prop < 0 {
 			prop = 0
 		}
@@ -302,26 +404,51 @@ func (n *Network) send(src *Host, p *Packet) {
 
 	arrive := depart.Add(prop)
 	p.dest = dst
-	n.Sim.AtArg(arrive, deliverPacket, p)
+	if dst.shard == src.shard {
+		src.sim.AtArg(arrive, deliverPacket, p)
+		return
+	}
+	// Cross-shard delivery: ownership of the packet transfers to the
+	// destination shard, and the engine's lane merge guarantees the
+	// destination sees it in deterministic timestamp order. The engine
+	// panics if arrive violates the lookahead (latency floor too small).
+	packetCrossShard(p, dst.shard)
+	n.engine.Send(src.shard, dst.shard, arrive, deliverPacket, p)
 }
 
 // deliverPacket is the propagation-done callback: package-level so AtArg
-// schedules it without a closure allocation per packet.
+// schedules it without a closure allocation per packet. It runs on the
+// destination host's shard.
 func deliverPacket(a any) {
 	p := a.(*Packet)
-	checkPacketLive(p, "deliver")
+	checkPacketLive(p, p.dest.shard, "deliver")
 	p.dest.receive(p)
 }
 
 // drop records a packet loss, notifies the diagnostics hook, and retires
 // the packet. Every packet's life ends in exactly one drop call or one
-// delivered OnRecv call.
-func (n *Network) drop(reason string, p *Packet) {
-	n.Stats.Inc(reason, 1)
+// delivered OnRecv call. sh is the shard the drop executes on (sender's
+// shard for wire/route losses, destination's for host-side losses).
+func (n *Network) drop(sh int, reason string, p *Packet) {
+	n.statsSh[sh].Inc(reason, 1)
 	if n.OnDrop != nil {
 		n.OnDrop(reason, p)
 	}
-	n.releasePacket(p)
+	n.releasePacket(sh, p)
+}
+
+// allocConnID issues a stream connection ID. The classic network keeps
+// the historical global counter (IDs are stable for golden traces); a
+// sharded network derives IDs from the dialing host's address and a
+// host-local counter, which is both shard-safe and globally unique — the
+// sharded network has a single realm, so host IPs never collide.
+func (n *Network) allocConnID(h *Host) uint64 {
+	if n.engine == nil {
+		n.nextConnID++
+		return n.nextConnID
+	}
+	h.nextConnID++
+	return uint64(h.ip)<<32 | (h.nextConnID & 0xffffffff)
 }
 
 // AllHosts returns every host in creation order.

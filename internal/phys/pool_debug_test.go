@@ -29,9 +29,9 @@ func mustPanic(t *testing.T, want string, f func()) {
 // Double release panics under the debug pool.
 func TestPacketDebugDoubleRelease(t *testing.T) {
 	_, net := debugNet()
-	p := net.acquirePacket()
-	net.releasePacket(p)
-	mustPanic(t, "double release", func() { net.releasePacket(p) })
+	p := net.acquirePacket(0)
+	net.releasePacket(0, p)
+	mustPanic(t, "double release", func() { net.releasePacket(0, p) })
 }
 
 // A released packet re-entering the delivery pipeline panics.
@@ -39,12 +39,37 @@ func TestPacketDebugUseAfterRelease(t *testing.T) {
 	s, net := debugNet()
 	site := net.AddSite("site")
 	h := net.AddHost("h", site, net.Root(), HostConfig{})
-	p := net.acquirePacket()
+	p := net.acquirePacket(0)
 	p.Src = Endpoint{IP: h.IP(), Port: 1}
 	p.Dst = Endpoint{IP: h.IP(), Port: 2}
-	net.releasePacket(p)
+	net.releasePacket(0, p)
 	mustPanic(t, "use of released packet", func() { net.send(h, p) })
 	_ = s
+}
+
+// Cross-shard pool misuse: releasing a packet on a shard that does not
+// own it panics, and so does releasing it twice from different shards —
+// the single-owner rule packets obey when they migrate between shard
+// free lists through the engine.
+func TestPacketDebugCrossShardRelease(t *testing.T) {
+	_, net := debugNet()
+	p := net.acquirePacket(0)
+	mustPanic(t, "cross-shard release", func() { net.releasePacket(1, p) })
+
+	q := net.acquirePacket(2)
+	packetCrossShard(q, 3) // legal hand-off: ownership moves to shard 3
+	mustPanic(t, "cross-shard release", func() { net.releasePacket(2, q) })
+	net.releasePacket(3, q) // owner releases fine
+	mustPanic(t, "double release", func() { net.releasePacket(3, q) })
+}
+
+// A shard touching a live packet it does not own panics at the pipeline
+// checkpoints.
+func TestPacketDebugCrossShardUse(t *testing.T) {
+	_, net := debugNet()
+	p := net.acquirePacket(1)
+	mustPanic(t, "owned by shard 1", func() { checkPacketLive(p, 0, "send") })
+	checkPacketLive(p, 1, "send") // owner passes
 }
 
 // An OnRecv handler that retains the packet sees it poisoned after the

@@ -1,0 +1,118 @@
+package phys
+
+import (
+	"reflect"
+	"testing"
+
+	"wow/internal/sim"
+)
+
+// buildShardedPair stands up a two-shard network with one host per shard
+// and a reply-on-receive protocol: host a fires `count` datagrams at b,
+// b answers each, and both sides log (now, size) on delivery.
+func runShardedPingPong(t *testing.T, workers, count int) (logA, logB []sim.Time, stats string, events uint64) {
+	t.Helper()
+	eng := sim.NewSharded(42, 2, workers)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 20 * sim.Millisecond, Jitter: 5 * sim.Millisecond},
+	))
+	siteA := net.AddSite("a") // shard 0
+	siteB := net.AddSite("b") // shard 1
+	if siteA.Shard() == siteB.Shard() {
+		t.Fatal("sites landed on one shard")
+	}
+	floor, ok := net.CrossShardFloor()
+	if !ok {
+		t.Fatal("no cross-shard site pairs")
+	}
+	if want := 15 * sim.Millisecond; floor != want {
+		t.Fatalf("CrossShardFloor = %v, want %v", floor, want)
+	}
+	eng.SetLookahead(floor)
+
+	a := net.AddHost("a0", siteA, net.Root(), HostConfig{})
+	b := net.AddHost("b0", siteB, net.Root(), HostConfig{})
+	if a.Shard() != 0 || b.Shard() != 1 {
+		t.Fatalf("host shards = %d,%d", a.Shard(), b.Shard())
+	}
+	as, err := a.Listen(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := b.Listen(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.OnRecv = func(p *Packet) {
+		logB = append(logB, b.Sim().Now())
+		bs.Send(p.Src, 16, "pong")
+	}
+	as.OnRecv = func(p *Packet) { logA = append(logA, a.Sim().Now()) }
+	for i := 0; i < count; i++ {
+		at := sim.Time(i) * sim.Time(3*sim.Millisecond)
+		eng.Shard(0).At(at, func() { as.Send(Endpoint{IP: b.IP(), Port: 100}, 32, "ping") })
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	total := net.TotalStats()
+	return logA, logB, total.String(), eng.Processed()
+}
+
+// TestShardedNetworkDeliversAcrossShards checks end-to-end cross-shard
+// delivery and that the trace is identical no matter how many workers
+// execute it.
+func TestShardedNetworkDeliversAcrossShards(t *testing.T) {
+	const count = 40
+	a1, b1, s1, e1 := runShardedPingPong(t, 1, count)
+	if len(b1) != count || len(a1) != count {
+		t.Fatalf("delivered %d pings / %d pongs, want %d each; stats: %s", len(b1), len(a1), count, s1)
+	}
+	a2, b2, s2, e2 := runShardedPingPong(t, 2, count)
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("delivery trace depends on worker count")
+	}
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("stats/event totals depend on worker count: %q/%d vs %q/%d", s1, e1, s2, e2)
+	}
+}
+
+// TestShardedNetworkRejectsRealms: middlebox state is not shard-safe, so
+// sharded networks are root-realm only.
+func TestShardedNetworkRejectsRealms(t *testing.T) {
+	eng := sim.NewSharded(1, 2, 1)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(PathModel{}, PathModel{OneWay: sim.Millisecond}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRealm on a sharded network must panic")
+		}
+	}()
+	net.AddRealm("nat", net.Root(), nil, MustParseIP("10.0.0.1"))
+}
+
+// TestUnshardedStatsUnchanged: the classic network still exposes Stats
+// directly and TotalStats mirrors it.
+func TestUnshardedStatsUnchanged(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s, UniformLatency(PathModel{}, PathModel{}))
+	site := net.AddSite("x")
+	a := net.AddHost("a", site, net.Root(), HostConfig{})
+	b := net.AddHost("b", site, net.Root(), HostConfig{})
+	bs, _ := b.Listen(7)
+	got := 0
+	bs.OnRecv = func(p *Packet) { got++ }
+	as, _ := a.Listen(0)
+	as.Send(Endpoint{IP: b.IP(), Port: 7}, 8, "x")
+	s.Run()
+	if got != 1 {
+		t.Fatal("not delivered")
+	}
+	if net.Stats.Get("delivered") != 1 {
+		t.Fatalf("Stats.delivered = %d", net.Stats.Get("delivered"))
+	}
+	total := net.TotalStats()
+	if total.Get("delivered") != 1 {
+		t.Fatalf("TotalStats.delivered = %d", total.Get("delivered"))
+	}
+}

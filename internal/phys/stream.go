@@ -159,13 +159,12 @@ func (h *Host) DialStream(dst Endpoint) *Stream {
 	if err != nil {
 		panic(fmt.Sprintf("phys: ephemeral stream port: %v", err))
 	}
-	h.net.nextConnID++
 	s := &Stream{
 		host:     h,
 		sock:     sock,
 		ownsSock: true,
 		remote:   dst,
-		connID:   h.net.nextConnID,
+		connID:   h.net.allocConnID(h),
 		state:    streamSynSent,
 		sendBuf:  make(map[uint64]*streamSeg),
 		oo:       make(map[uint64]*streamSeg),

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// splitmix64 is the deterministic hash driving the random workloads: both
+// the single-threaded reference and the sharded run derive every delay and
+// target from it, so the two executions are the same logical computation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// workload is a randomized actor system: actors log every event they
+// execute and schedule follow-ups — some to themselves (any delay), some
+// to actors on other shards (delay at least the lookahead). The same
+// workload runs on a plain Simulator or on a Sharded engine through the
+// scheduler abstraction.
+type workload struct {
+	seed     uint64
+	actors   int
+	shards   int
+	steps    int
+	look     Duration
+	logs     [][]logRec // per actor
+	schedule func(fromActor, toActor int, when Time, fn func())
+	now      func(actor int) Time
+}
+
+type logRec struct {
+	when  Time
+	step  int
+	actor int
+}
+
+func (w *workload) shardOf(a int) int { return a % w.shards }
+
+// fire logs one step for actor a and schedules its successors.
+func (w *workload) fire(a, step int) {
+	now := w.now(a)
+	w.logs[a] = append(w.logs[a], logRec{when: now, step: step, actor: a})
+	if step >= w.steps {
+		return
+	}
+	h := splitmix64(w.seed ^ uint64(a)*0x9E37 ^ uint64(step)*0x85EB)
+	// Self follow-up: any strictly positive delay.
+	selfDelay := Duration(1+h%1000) * Microsecond
+	w.schedule(a, a, now.Add(selfDelay), func() { w.fire(a, step+1) })
+	if w.actors > 1 && h%3 == 0 {
+		// Cross follow-up: delay bounded below by the lookahead, the
+		// same invariant phys guarantees via the WAN latency floor.
+		b := (a + 1 + int(h>>32)%(w.actors-1)) % w.actors
+		crossDelay := Duration(w.look) + Duration(1+(h>>16)%1000)*Microsecond
+		step2 := step + 1
+		w.schedule(a, b, now.Add(crossDelay), func() { w.fire(b, step2) })
+	}
+}
+
+func (w *workload) kickoff() {
+	for a := 0; a < w.actors; a++ {
+		h := splitmix64(w.seed ^ uint64(a)*0x2545F491)
+		start := Time(1+h%5000) * Time(Microsecond)
+		a := a
+		w.schedule(a, a, start, func() { w.fire(a, 0) })
+	}
+}
+
+// runSingle executes the workload on one Simulator: the single-threaded
+// reference ordering (global timestamp order across all actors).
+func runSingle(seed uint64, actors, shards, steps int, look Duration, horizon Time) [][]logRec {
+	s := New(int64(seed))
+	w := &workload{seed: seed, actors: actors, shards: shards, steps: steps, look: look,
+		logs: make([][]logRec, actors)}
+	w.schedule = func(_, _ int, when Time, fn func()) { s.At(when, fn) }
+	w.now = func(int) Time { return s.Now() }
+	w.kickoff()
+	s.RunUntil(horizon)
+	return w.logs
+}
+
+// runSharded executes the same workload on a Sharded engine with the given
+// worker count.
+func runSharded(seed uint64, actors, shards, steps, workers int, look Duration, horizon Time) [][]logRec {
+	g := NewSharded(int64(seed), shards, workers)
+	defer g.Close()
+	g.SetLookahead(look)
+	w := &workload{seed: seed, actors: actors, shards: shards, steps: steps, look: look,
+		logs: make([][]logRec, actors)}
+	w.schedule = func(from, to int, when Time, fn func()) {
+		sf, st := w.shardOf(from), w.shardOf(to)
+		if sf == st {
+			g.Shard(st).At(when, fn)
+			return
+		}
+		g.Send(sf, st, when, func(any) { fn() }, nil)
+	}
+	w.now = func(actor int) Time { return g.Shard(w.shardOf(actor)).Now() }
+	w.kickoff()
+	g.RunUntil(horizon)
+	return w.logs
+}
+
+// timesCollide reports whether any two events in the reference run share a
+// timestamp. Equal-timestamp events on different shards have no defined
+// relative order between a single queue and K queues (both executions are
+// individually deterministic); the equivalence property quantifies over
+// workloads with distinct timestamps, so colliding seeds are skipped.
+func timesCollide(logs [][]logRec) bool {
+	seen := make(map[Time]bool)
+	for _, l := range logs {
+		for _, r := range l {
+			if seen[r.when] {
+				return true
+			}
+			seen[r.when] = true
+		}
+	}
+	return false
+}
+
+// TestShardedMatchesSingleThreaded is the lookahead-correctness property:
+// for random topologies (actor→shard maps) and seeds, sharded execution
+// produces exactly the event ordering of a single-threaded run.
+func TestShardedMatchesSingleThreaded(t *testing.T) {
+	const look = 10 * Millisecond
+	const horizon = Time(10 * Second)
+	prop := func(seed uint64, actorsRaw, shardsRaw, workersRaw uint8) bool {
+		actors := 2 + int(actorsRaw%14)
+		shards := 2 + int(shardsRaw%6)
+		workers := 1 + int(workersRaw%8)
+		single := runSingle(seed, actors, shards, 6, look, horizon)
+		if timesCollide(single) {
+			return true
+		}
+		sharded := runSharded(seed, actors, shards, 6, workers, look, horizon)
+		return reflect.DeepEqual(single, sharded)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedWorkerCountInvariance pins the stronger half of the
+// determinism contract: with ties or without, the (seed, shard count)
+// trace never depends on how many workers execute it.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	const look = 5 * Millisecond
+	const horizon = Time(20 * Second)
+	for _, seed := range []uint64{1, 7, 42, 1234567} {
+		ref := runSharded(seed, 24, 4, 8, 1, look, horizon)
+		for _, workers := range []int{2, 4, 8} {
+			got := runSharded(seed, 24, 4, 8, workers, look, horizon)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d: workers=%d trace differs from workers=1", seed, workers)
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardDelegates checks K=1 is exactly the plain engine:
+// same trace, no lookahead required.
+func TestShardedSingleShardDelegates(t *testing.T) {
+	single := runSingle(99, 8, 1, 6, 10*Millisecond, Time(10*Second))
+	g := runSharded(99, 8, 1, 6, 1, 10*Millisecond, Time(10*Second))
+	if !reflect.DeepEqual(single, g) {
+		t.Fatal("single-shard engine trace differs from plain Simulator")
+	}
+}
+
+// TestShardedLookaheadViolationPanics: a cross-shard event scheduled
+// inside the current window must panic loudly instead of corrupting
+// causality.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	g := NewSharded(1, 2, 2)
+	defer g.Close()
+	g.SetLookahead(10 * Millisecond)
+	g.Shard(0).At(Time(Millisecond), func() {
+		// 1ms delay < 10ms lookahead: illegal cross-shard send.
+		g.Send(0, 1, g.Shard(0).Now().Add(Millisecond), func(any) {}, nil)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	g.RunUntil(Time(Second))
+}
+
+// TestShardedCrossTieOrder pins the barrier merge order: two cross-shard
+// events landing on one shard at the same timestamp execute in source-
+// shard order regardless of emission interleaving.
+func TestShardedCrossTieOrder(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		g := NewSharded(5, 3, workers)
+		g.SetLookahead(Duration(Millisecond))
+		var order []int
+		when := Time(2 * Millisecond)
+		// Shards 2 and 1 both target shard 0 at the same instant.
+		g.Shard(2).At(Time(Microsecond), func() {
+			g.Send(2, 0, when, func(any) { order = append(order, 2) }, nil)
+		})
+		g.Shard(1).At(Time(Microsecond), func() {
+			g.Send(1, 0, when, func(any) { order = append(order, 1) }, nil)
+		})
+		g.RunUntil(Time(10 * Millisecond))
+		g.Close()
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("workers=%d: cross-shard tie order = %v, want [1 2]", workers, order)
+		}
+	}
+}

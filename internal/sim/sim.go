@@ -268,6 +268,37 @@ func (s *Simulator) RunUntil(t Time) {
 // RunFor executes events for the next d of virtual time.
 func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
+// PeekTime reports the timestamp of the earliest pending event. The second
+// return is false when the queue is empty. Sharded coordinators use it to
+// compute the global window floor without popping anything.
+func (s *Simulator) PeekTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
+// RunBefore executes every event with timestamp strictly less than t and
+// stops without advancing the clock past the last executed event. It is the
+// window-execution primitive of the sharded engine: a shard runs its slice
+// of the window [T, T+lookahead) with RunBefore(T+lookahead), leaving
+// events at or beyond the window boundary queued for later windows.
+func (s *Simulator) RunBefore(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when < t {
+		s.step(-1)
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// Moving backward is a no-op. The sharded coordinator uses it to bring
+// every shard's clock to the common horizon after the last window.
+func (s *Simulator) AdvanceTo(t Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
 // Ticker invokes fn every interval until the returned stop function is
 // called. The first invocation happens one interval from now.
 type Ticker struct {
