@@ -25,13 +25,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
-	nodes := flag.Int("nodes", 2000, "overlay size for the scale harness (1000-20000)")
+	nodes := flag.Int("nodes", 2000, "overlay size for the scale/nat harnesses (1000-20000)")
 	packets := flag.Int("packets", 2000, "routed packets measured by the scale harness")
-	shards := flag.Int("shards", 0, "scale harness: run on this many event shards (0/1 = single queue)")
-	workers := flag.Int("workers", 0, "scale harness: worker goroutines for sharded runs (0 = min(shards, GOMAXPROCS))")
-	batch := flag.Int("batch", 0, "scale harness: batched-bootstrap batch size (0 = serial joins, or 256 when -shards > 1)")
-	settle := flag.Float64("settle", 0, "scale harness: convergence settle time in virtual seconds (0 = default 120)")
-	wan := flag.Float64("wan", 0, "scale harness: one-way inter-site latency in ms for parallel builds (0 = default 30; also the shard lookahead)")
+	shards := flag.Int("shards", 0, "scale/nat harnesses: run on this many event shards (0/1 = single queue)")
+	workers := flag.Int("workers", 0, "scale/nat harnesses: worker goroutines for sharded runs (0 = min(shards, GOMAXPROCS))")
+	batch := flag.Int("batch", 0, "scale/nat harnesses: batched-bootstrap batch size (0 = serial joins, or 256/64 when -shards > 1)")
+	settle := flag.Float64("settle", 0, "scale/nat harnesses: convergence settle time in virtual seconds (0 = default)")
+	wan := flag.Float64("wan", 0, "scale/nat harnesses: one-way inter-site latency in ms for parallel builds (0 = default; also the shard lookahead)")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full trial counts (slower)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment on stdout")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
@@ -244,7 +244,31 @@ func main() {
 		timed(func() {
 			m, err := experiments.RunNATMatrix(*seed)
 			show("nat-matrix", m, err)
-			sr, err := experiments.RunSymmetricRing(experiments.SymRingOpts{Seed: *seed})
+			srOpts := experiments.SymRingOpts{Seed: *seed}
+			if *shards > 1 || *batch > 0 {
+				// Parallel mode: the sharded batched build takes the same
+				// sizing flags as the scale harness and streams a
+				// nat.series JSONL row per batch (tunnels formed, upgrade
+				// probes, routability over build time).
+				srOpts.Nodes = *nodes
+				srOpts.Shards = *shards
+				srOpts.Workers = *workers
+				srOpts.BatchJoin = *batch
+				srOpts.Settle = experiments.SettleSeconds(*settle)
+				srOpts.WANLatency = experiments.Milliseconds(*wan)
+				srOpts.OnProgress = func(p experiments.NATPoint) {
+					if *jsonOut {
+						line, _ := json.Marshal(map[string]any{
+							"experiment": "nat.series", "seed": *seed, "data": p,
+						})
+						fmt.Println(string(line))
+						return
+					}
+					fmt.Fprintf(narrate, "  t=%6.0fs virt  %6d joined  routable %5.1f%%  %6d tunnels  %8d upgrade probes  %12d events\n",
+						p.VirtualSec, p.Joined, p.RoutableFrac*100, p.Tunnels, p.UpgradeProbes, p.Events)
+				}
+			}
+			sr, err := experiments.RunSymmetricRing(srOpts)
 			show("symmetric-ring", sr, err)
 		})
 	}

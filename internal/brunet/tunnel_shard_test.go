@@ -1,0 +1,174 @@
+package brunet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"wow/internal/natsim"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// shardedNATRig builds a small overlay on the 2-shard parallel engine:
+// public routers on a shard-0 site, each symmetric-NATed node behind its
+// own realm pinned to one of two sites on opposite shards. It is the
+// sharded counterpart of buildSymmetricRing — same protocol stack, but
+// every NAT's translation state lives on its realm's owning shard.
+type shardedNATRig struct {
+	eng   *sim.Sharded
+	net   *phys.Network
+	nodes []*Node
+}
+
+func buildShardedSymmetricRing(t *testing.T, seed int64, workers, routers, symmetric int) *shardedNATRig {
+	t.Helper()
+	eng := sim.NewSharded(seed, 2, workers)
+	t.Cleanup(eng.Close)
+	net := phys.NewShardedNetwork(eng, phys.UniformLatency(
+		phys.PathModel{OneWay: sim.Millisecond},
+		phys.PathModel{OneWay: 15 * sim.Millisecond},
+	))
+	pub := net.AddSite("pub")   // shard 0
+	lanA := net.AddSite("lanA") // shard 1
+	lanB := net.AddSite("lanB") // shard 0
+	floor, ok := net.CrossShardFloor()
+	if !ok {
+		t.Fatal("no cross-shard site pair")
+	}
+	eng.SetLookahead(floor)
+	r := &shardedNATRig{eng: eng, net: net}
+
+	// Boot URIs are resolved at event-fire time: a node's bootstrap URI is
+	// not known until it has started, which happens inside a prior event.
+	var at sim.Time
+	start := func(n *Node, site *phys.Site, boot func() []URI) {
+		eng.Shard(site.Shard()).At(at, func() {
+			if err := n.Start(boot()); err != nil {
+				panic(fmt.Sprintf("start %s: %v", n.Addr(), err))
+			}
+		})
+		at = at.Add(2 * sim.Second)
+	}
+	bootOffFirst := func() []URI { return []URI{r.nodes[0].BootstrapURI()} }
+	for i := 0; i < routers; i++ {
+		name := fmt.Sprintf("router%02d", i)
+		h := net.AddHost(name, pub, net.Root(), phys.HostConfig{})
+		n := NewNode(h, AddrFromString(name), FastTestConfig())
+		boot := bootOffFirst
+		if len(r.nodes) == 0 {
+			boot = func() []URI { return nil }
+		}
+		start(n, pub, boot)
+		r.nodes = append(r.nodes, n)
+	}
+	for i := 0; i < symmetric; i++ {
+		name := fmt.Sprintf("sym%02d", i)
+		site := lanA
+		if i%2 == 1 {
+			site = lanB
+		}
+		nat := natsim.NewNAT(name+"-nat", natsim.Config{Type: natsim.Symmetric},
+			net.Root().NextIP(), eng.Shard(site.Shard()).Now)
+		realm := net.AddRealm(name, net.Root(), nat, phys.MustParseIP(fmt.Sprintf("10.%d.0.2", i)))
+		h := net.AddHost(name+"-host", site, realm, phys.HostConfig{})
+		n := NewNode(h, AddrFromString(name), FastTestConfig())
+		start(n, site, bootOffFirst)
+		r.nodes = append(r.nodes, n)
+	}
+	eng.RunUntil(at.Add(4 * sim.Minute))
+	return r
+}
+
+// signature captures the converged topology as text: every node's
+// connection table with edge types, plus the tunnel counters. Two runs
+// with equal signatures built the same overlay.
+func (r *shardedNATRig) signature() string {
+	var b strings.Builder
+	nodes := append([]*Node(nil), r.nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Addr().Less(nodes[j].Addr()) })
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%v:", n.Addr())
+		conns := n.Connections()
+		sort.Slice(conns, func(i, j int) bool { return conns[i].Peer.Less(conns[j].Peer) })
+		for _, c := range conns {
+			tag := ""
+			if c.Tunneled() {
+				tag = "~"
+			}
+			fmt.Fprintf(&b, " %s%v", tag, c.Peer)
+		}
+		fmt.Fprintf(&b, " est=%d probes=%d\n",
+			n.Stats.Get("tunnel.established"), n.Stats.Get("tunnel.upgrade_probes"))
+	}
+	return b.String()
+}
+
+// TestShardedSymmetricRingUsesTunnels: the tunnel subsystem works intact on
+// the parallel engine — a ring with symmetric-symmetric adjacencies closes
+// its near links over relay-backed tunnel edges, everyone becomes routable,
+// and application traffic crosses the tunneled edges, with the NATs' realms
+// split across both shards.
+func TestShardedSymmetricRingUsesTunnels(t *testing.T) {
+	r := buildShardedSymmetricRing(t, 21, 1, 3, 8)
+	for _, n := range r.nodes {
+		if !n.IsRoutable() {
+			t.Errorf("%v not routable", n.Addr())
+		}
+	}
+	ring := append([]*Node(nil), r.nodes...)
+	sort.Slice(ring, func(i, j int) bool { return ring[i].Addr().Less(ring[j].Addr()) })
+	tunneled := 0
+	for i, n := range ring {
+		succ := ring[(i+1)%len(ring)]
+		c := n.ConnectionTo(succ.Addr())
+		if c == nil || !c.Has(StructuredNear) {
+			t.Errorf("%v missing near link to %v", n.Addr(), succ.Addr())
+			continue
+		}
+		if c.Tunneled() {
+			tunneled++
+		}
+	}
+	if tunneled == 0 {
+		t.Error("no tunneled near links; symmetric pairs should have needed tunnels")
+	}
+
+	// App traffic across the converged ring: every node sends to its ring
+	// successor; symmetric-symmetric hops must transit tunnel edges.
+	got := map[Addr]int{}
+	for _, n := range ring {
+		n.RegisterProto("t", func(src Addr, d AppData) { got[src]++ })
+	}
+	base := r.eng.Now()
+	for i, n := range ring {
+		n := n
+		dst := ring[(i+1)%len(ring)].Addr()
+		r.eng.Shard(n.Host().Shard()).At(base.Add(sim.Duration(i)*10*sim.Millisecond), func() {
+			n.SendTo(dst, DeliverExact, AppData{Proto: "t", Size: 32})
+		})
+	}
+	r.eng.RunFor(5 * sim.Second)
+	delivered := 0
+	for _, c := range got {
+		delivered += c
+	}
+	if delivered != len(ring) {
+		t.Errorf("delivered %d/%d successor probes", delivered, len(ring))
+	}
+}
+
+// TestShardedTunnelWorkerInvariance: the converged overlay — connection
+// tables, edge types, tunnel counters — is identical under 1 and 4 workers.
+func TestShardedTunnelWorkerInvariance(t *testing.T) {
+	a := buildShardedSymmetricRing(t, 21, 1, 3, 8)
+	b := buildShardedSymmetricRing(t, 21, 4, 3, 8)
+	sa, sb := a.signature(), b.signature()
+	if sa != sb {
+		t.Errorf("topology differs across worker counts:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", sa, sb)
+	}
+	if ae, be := a.eng.Processed(), b.eng.Processed(); ae != be {
+		t.Errorf("event totals differ: %d vs %d", ae, be)
+	}
+}

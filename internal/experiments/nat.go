@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -207,16 +208,53 @@ type SymRingOpts struct {
 	JoinSpacing sim.Duration
 	Settle      sim.Duration
 	// Pings is the number of end-to-end VIP pings between the two
-	// symmetric-NATed workstations.
+	// symmetric-NATed workstations (serial mode only).
 	Pings int
+
+	// Parallel-mode knobs. Shards>1 or BatchJoin>0 selects the batched
+	// build on the site-sharded engine: bare brunet nodes (no VM
+	// workstations or migration), every NAT realm pinned to its host's
+	// site, joins batched off the public routers only — a symmetric NAT
+	// admits no unsolicited inbound, so NATed peers are useless as
+	// bootstrap targets. Results are deterministic in (Seed, Shards) and
+	// independent of Workers. The serial mode (Shards<=1, BatchJoin=0) is
+	// golden-pinned and untouched by these fields.
+	Shards int
+	// Workers bounds the goroutines executing shard windows; 0 means
+	// min(Shards, GOMAXPROCS). Results never depend on it.
+	Workers int
+	// BatchJoin is the batched-bootstrap ramp cap; defaults to 64 when
+	// Shards>1.
+	BatchJoin int
+	// BatchInterval is the virtual time between batch starts.
+	BatchInterval sim.Duration
+	// WANLatency is the one-way inter-site delay; its floor is the
+	// engine lookahead, so it must be positive when Shards>1.
+	WANLatency sim.Duration
+	// Sites spreads hosts (and so NAT realms) round-robin over this many
+	// network sites.
+	Sites int
+	// Probes is how many end-to-end overlay probes the parallel
+	// measurement phase routes between random NATed pairs.
+	Probes int
+	// OnProgress, when set, observes every build time-series sample of a
+	// parallel run.
+	OnProgress func(NATPoint)
 }
 
+func (o *SymRingOpts) parallel() bool { return o.Shards > 1 || o.BatchJoin > 0 }
+
 func (o *SymRingOpts) fillDefaults() {
-	if o.Routers == 0 {
-		o.Routers = 4
-	}
 	if o.Nodes == 0 {
 		o.Nodes = 200
+	}
+	if o.Routers == 0 {
+		o.Routers = 4
+		if o.parallel() && o.Nodes/50 > o.Routers {
+			// Public relay capacity scales with the fleet: every tunnel
+			// edge and every bootstrap dial lands on a router.
+			o.Routers = o.Nodes / 50
+		}
 	}
 	if o.JoinSpacing == 0 {
 		o.JoinSpacing = 500 * sim.Millisecond
@@ -226,6 +264,32 @@ func (o *SymRingOpts) fillDefaults() {
 	}
 	if o.Pings == 0 {
 		o.Pings = 10
+	}
+	if o.Shards > 1 && o.BatchJoin == 0 {
+		o.BatchJoin = 64
+	}
+	if o.parallel() {
+		if o.BatchInterval == 0 {
+			o.BatchInterval = 10 * sim.Second
+		}
+		if o.WANLatency == 0 {
+			o.WANLatency = 15 * sim.Millisecond
+		}
+		if o.Sites == 0 {
+			o.Sites = 32
+			if o.Shards > o.Sites {
+				o.Sites = o.Shards
+			}
+		}
+		if o.Probes == 0 {
+			o.Probes = 200
+		}
+		if o.Workers == 0 {
+			o.Workers = runtime.GOMAXPROCS(0)
+		}
+		if o.Shards > 0 && o.Workers > o.Shards {
+			o.Workers = o.Shards
+		}
 	}
 }
 
@@ -252,17 +316,42 @@ type SymRingResult struct {
 	// MigOutageSec is the VIP outage while one workstation migrated to a
 	// public host; negative if it never recovered in the window.
 	MigOutageSec float64
+
+	// Parallel-mode fields (zero in serial runs).
+	Shards          int        `json:",omitempty"`
+	Workers         int        `json:",omitempty"`
+	BatchJoin       int        `json:",omitempty"`
+	WANLatencyMs    float64    `json:",omitempty"`
+	MaxProcs        int        `json:",omitempty"`
+	BuildWallSec    float64    `json:",omitempty"`
+	EventsTotal     uint64     `json:",omitempty"`
+	UpgradeProbes   int64      `json:",omitempty"`
+	ProbesSent      int        `json:",omitempty"`
+	ProbesDelivered int        `json:",omitempty"`
+	Series          []NATPoint `json:",omitempty"`
 }
 
-// String renders the summary.
+// String renders the summary. The serial rendering is golden-pinned and
+// must stay byte-identical; parallel runs report their own closing lines
+// (probe delivery and build cost) instead of the VM workstation figures.
 func (r *SymRingResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "All-symmetric-NAT ring: %d NATed + %d public routers, seed %d\n",
 		r.Nodes, r.Routers, r.Seed)
+	parallel := r.Shards > 0 || r.BatchJoin > 0
+	if parallel {
+		fmt.Fprintf(&b, "  parallel: %d shards x %d workers (GOMAXPROCS %d), join batches of %d, wan %.0f ms\n",
+			r.Shards, r.Workers, r.MaxProcs, r.BatchJoin, r.WANLatencyMs)
+	}
 	fmt.Fprintf(&b, "  routable: %.1f%%; ring: %d missing near links (%d direct, %d tunneled)\n",
 		r.RoutableFrac*100, r.MissingNear, r.DirectNear, r.TunnelNear)
 	fmt.Fprintf(&b, "  tunnels: %d established, %d upgraded; relays: %d lost, %d reselected\n",
 		r.TunnelsEstablished, r.TunnelsUpgraded, r.RelaysLost, r.RelaysReselected)
+	if parallel {
+		fmt.Fprintf(&b, "  probes (sym <-> sym overlay): %d/%d delivered\n", r.ProbesDelivered, r.ProbesSent)
+		fmt.Fprintf(&b, "  build: %.1f s wall, %d events\n", r.BuildWallSec, r.EventsTotal)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "  vip ping (sym ws <-> sym ws): %d/%d\n", r.PingOK, r.PingsSent)
 	fmt.Fprintf(&b, "  migration to public host: vip outage %.1f s\n", r.MigOutageSec)
 	return b.String()
@@ -275,6 +364,9 @@ func (r *SymRingResult) String() string {
 // VIP traffic end to end, and survives a workstation migration.
 func RunSymmetricRing(opts SymRingOpts) (*SymRingResult, error) {
 	opts.fillDefaults()
+	if opts.parallel() {
+		return runSymmetricRingParallel(opts)
+	}
 	s := sim.New(opts.Seed)
 	net := phys.NewNetwork(s, phys.UniformLatency(
 		phys.PathModel{OneWay: sim.Millisecond},

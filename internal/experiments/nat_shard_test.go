@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// symRingShardedResult runs a small parallel all-symmetric ring and strips
+// the wall-clock fields that legitimately vary between runs, leaving only
+// the simulation-determined outcome for comparison.
+func symRingShardedResult(t *testing.T, workers int) *SymRingResult {
+	t.Helper()
+	res, err := RunSymmetricRing(SymRingOpts{
+		Seed:      5,
+		Nodes:     60,
+		Routers:   6,
+		Shards:    4,
+		Workers:   workers,
+		BatchJoin: 16,
+		Probes:    60,
+		Sites:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// outcomeKey reduces a SymRingResult to its deterministic, seed-fixed part:
+// everything except wall-clock timings.
+func outcomeKey(r *SymRingResult) SymRingResult {
+	c := *r
+	c.BuildWallSec = 0
+	c.Series = nil
+	return c
+}
+
+// TestSymRingShardedConverges: the batched, sharded all-symmetric build
+// must reach the same end state the serial golden-pinned harness proves at
+// small scale — everyone routable, a complete ring over tunnel edges — and
+// must report its parallel provenance and progress series.
+func TestSymRingShardedConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute virtual build")
+	}
+	res := symRingShardedResult(t, 1)
+	if res.RoutableFrac != 1 {
+		t.Errorf("routable fraction = %.3f, want 1.0", res.RoutableFrac)
+	}
+	if res.MissingNear != 0 {
+		t.Errorf("missing near links = %d, want 0", res.MissingNear)
+	}
+	if res.TunnelNear == 0 {
+		t.Error("no tunneled near links in an all-symmetric ring")
+	}
+	if res.ProbesDelivered == 0 {
+		t.Errorf("0/%d overlay probes delivered", res.ProbesSent)
+	}
+	if len(res.Series) == 0 {
+		t.Error("no progress series recorded")
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.Joined != 60 || last.RoutableFrac != 1 {
+		t.Errorf("final series point %+v, want Joined=60 RoutableFrac=1", last)
+	}
+	if res.Shards != 4 {
+		t.Errorf("result records %d shards, want 4", res.Shards)
+	}
+	s := res.String()
+	if !strings.Contains(s, "parallel: 4 shards") {
+		t.Errorf("String() missing parallel provenance:\n%s", s)
+	}
+	if !strings.Contains(s, "0 missing near links") {
+		t.Errorf("String() missing ring audit:\n%s", s)
+	}
+}
+
+// TestSymRingShardedWorkerInvariance: the outcome is a pure function of
+// (seed, shards) — re-running with a different worker count must reproduce
+// every simulation-determined field, including the total event count.
+func TestSymRingShardedWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute virtual build")
+	}
+	a := symRingShardedResult(t, 1)
+	b := symRingShardedResult(t, 4)
+	ka, kb := outcomeKey(a), outcomeKey(b)
+	ka.Workers, kb.Workers = 0, 0
+	if !reflect.DeepEqual(ka, kb) {
+		t.Errorf("worker-variant outcome:\n1 worker:  %+v\n4 workers: %+v", ka, kb)
+	}
+	if a.EventsTotal != b.EventsTotal {
+		t.Errorf("event totals differ: %d vs %d", a.EventsTotal, b.EventsTotal)
+	}
+	// The virtual-time join trajectory must also match point for point.
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		pa, pb := a.Series[i], b.Series[i]
+		pa.WallSec, pb.WallSec = 0, 0
+		pa.JoinsPerSec, pb.JoinsPerSec = 0, 0
+		if pa != pb {
+			t.Errorf("series[%d] differs:\n1 worker:  %+v\n4 workers: %+v", i, pa, pb)
+		}
+	}
+}

@@ -29,6 +29,17 @@ func (s *Sharded) Shards() int { return len(s.counters) }
 // it while a sharded run is in flight.
 func (s *Sharded) Shard(i int) *Counter { return s.counters[i] }
 
+// Handles pre-resolves the named cell on every shard, in shard order. Hot
+// paths index the returned slice by executing shard and increment without
+// a map lookup — the sharded analogue of Counter.Handle.
+func (s *Sharded) Handles(name string) []Handle {
+	hs := make([]Handle, len(s.counters))
+	for i, c := range s.counters {
+		hs[i] = c.Handle(name)
+	}
+	return hs
+}
+
 // Merged sums every shard into one Counter. Call it only between runs —
 // it reads all shards without synchronization.
 func (s *Sharded) Merged() Counter {

@@ -16,6 +16,7 @@ import (
 type Firewall struct {
 	name  string
 	inner *phys.Realm
+	outer *phys.Realm
 	// FlowTTL expires idle pinholes. Zero means 120s.
 	flowTTL sim.Duration
 	clock   func() sim.Time
@@ -58,8 +59,18 @@ func NewFirewall(name string, flowTTL sim.Duration, clock func() sim.Time, allow
 	return f
 }
 
-// Attach implements phys.Boundary.
-func (f *Firewall) Attach(inner, outer *phys.Realm) { f.inner = inner }
+// Attach implements phys.Boundary, recording both sides of the boundary.
+func (f *Firewall) Attach(inner, outer *phys.Realm) {
+	f.inner = inner
+	f.outer = outer
+}
+
+// Inner returns the protected realm behind the firewall (nil before
+// Attach).
+func (f *Firewall) Inner() *phys.Realm { return f.inner }
+
+// Outer returns the realm outside the firewall (nil before Attach).
+func (f *Firewall) Outer() *phys.Realm { return f.outer }
 
 // Claims implements phys.Boundary: the firewall claims every address
 // routable inside it — protected hosts and the public endpoints of nested

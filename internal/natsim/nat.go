@@ -81,6 +81,7 @@ type NAT struct {
 	cfg      Config
 	publicIP phys.IP
 	inner    *phys.Realm
+	outer    *phys.Realm
 	nextPort uint16
 	byKey    map[mapKey]*mapping
 	byPublic map[pubKey]*mapping
@@ -107,14 +108,34 @@ func NewNAT(name string, cfg Config, publicIP phys.IP, clock func() sim.Time) *N
 	}
 }
 
-// Attach implements phys.Boundary.
-func (n *NAT) Attach(inner, outer *phys.Realm) { n.inner = inner }
+// Attach implements phys.Boundary, recording both sides of the boundary.
+// The outer realm is where the NAT's public endpoints live: Attach rejects
+// a public IP that collides with a host already registered there (a
+// topology bug that would otherwise shadow the host from inbound routing),
+// and the sharded engine pins the whole inner chain to one site through
+// phys.Realm placement, so a NAT knows its owning timeline via the realms
+// it is attached between.
+func (n *NAT) Attach(inner, outer *phys.Realm) {
+	if outer.HasHost(n.publicIP) {
+		panic(fmt.Sprintf("natsim: NAT %s public IP %s collides with a host in outer realm %q",
+			n.name, n.publicIP, outer.Name))
+	}
+	n.inner = inner
+	n.outer = outer
+}
 
 // Claims implements phys.Boundary: the NAT claims its public address.
 func (n *NAT) Claims(ip phys.IP) bool { return ip == n.publicIP }
 
 // PublicIP returns the NAT's outer address.
 func (n *NAT) PublicIP() phys.IP { return n.publicIP }
+
+// Inner returns the private realm behind the NAT (nil before Attach).
+func (n *NAT) Inner() *phys.Realm { return n.inner }
+
+// Outer returns the realm the NAT's public endpoints live in (nil before
+// Attach).
+func (n *NAT) Outer() *phys.Realm { return n.outer }
 
 // Name returns the device name.
 func (n *NAT) Name() string { return n.name }

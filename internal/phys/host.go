@@ -15,9 +15,13 @@ type Host struct {
 	Name  string
 	Site  *Site
 	realm *Realm
-	ip    IP
-	cfg   HostConfig
-	up    bool
+	// uid is the host's network-wide creation index (1-based): unique
+	// across all realms, unlike ip, which repeats behind every NAT. Sharded
+	// stream connection IDs are qualified by it.
+	uid uint32
+	ip  IP
+	cfg HostConfig
+	up  bool
 
 	socks     map[wirePortKey]*UDPSock
 	nextPorts map[uint8]uint16

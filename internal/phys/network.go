@@ -58,13 +58,31 @@ type LatencyFunc func(a, b *Site) PathModel
 // Realm is an address scope: the public Internet (root) or a private
 // network behind a Boundary. Hosts are registered in exactly one realm and
 // their IPs are unique within it.
+//
+// In a sharded network every private realm is shard-affine: the chain of
+// realms hanging off one top-level boundary is pinned to a single site (and
+// therefore a single engine shard) by the first AddHost anywhere in the
+// chain. The boundary middleboxes of the chain are then only ever invoked
+// on that shard's timeline — outbound translations run on the sender's
+// shard (the sender lives in the chain), inbound translations are deferred
+// to the owning shard (see deliverBoundary) — so NAT mapping tables, port
+// allocators and firewall pinhole tables stay single-threaded without
+// locks. The root realm is never pinned: its hosts run on their own sites'
+// shards and it holds no middlebox state of its own.
 type Realm struct {
 	Name     string
+	net      *Network
 	parent   *Realm
 	boundary Boundary // connects this realm to parent; nil for root
 	hosts    map[IP]*Host
 	children []childBoundary
 	nextIP   IP
+
+	// site/pinned are the sharded placement: set (with the whole chain) by
+	// the first AddHost behind this realm's top-level boundary. Unsharded
+	// networks never pin.
+	site   *Site
+	pinned bool
 }
 
 type childBoundary struct {
@@ -97,6 +115,47 @@ func (r *Realm) Covers(ip IP) bool {
 
 // Hosts returns the number of hosts registered in the realm.
 func (r *Realm) Hosts() int { return len(r.hosts) }
+
+// Shard reports the engine shard owning this realm's middlebox timeline:
+// the pinned site's shard for a private realm in a sharded network, 0
+// otherwise (root realm, unsharded network, or a chain no host was ever
+// placed behind).
+func (r *Realm) Shard() int {
+	if r.pinned {
+		return r.site.shard
+	}
+	return 0
+}
+
+// Site returns the site a sharded private realm is pinned to, nil when the
+// realm is unpinned (root, unsharded, or empty chain).
+func (r *Realm) Site() *Site {
+	if r.pinned {
+		return r.site
+	}
+	return nil
+}
+
+// chainTop walks up to the realm directly under root — the top of the
+// middlebox chain this realm belongs to. Called on private realms only.
+func (r *Realm) chainTop() *Realm {
+	top := r
+	for top.parent != nil && top.parent.parent != nil {
+		top = top.parent
+	}
+	return top
+}
+
+// pinChain pins every realm of the chain rooted at top-level realm r to
+// site: r itself and, recursively, every nested child realm. Realms added
+// to the chain later inherit the pin at AddRealm time.
+func (r *Realm) pinChain(site *Site) {
+	r.site = site
+	r.pinned = true
+	for _, cb := range r.children {
+		cb.inner.pinChain(site)
+	}
+}
 
 // NextIP allocates the next unused address in the realm, counting up from
 // the base passed to AddRealm/root creation.
@@ -146,6 +205,12 @@ type Network struct {
 	// freePktSh is the per-shard packet free list: shard-local acquire and
 	// release, so pooling stays lock-free under parallel execution.
 	freePktSh []*Packet
+	// boundInSh/boundOutSh are pre-resolved per-shard counters for boundary
+	// translations (inbound counted on the realm's owning shard, outbound on
+	// the sender's), so the NAT path doesn't pay a counter-map lookup per
+	// translation.
+	boundInSh  []metrics.Handle
+	boundOutSh []metrics.Handle
 }
 
 // NewNetwork creates a network with the given latency model. The root
@@ -156,8 +221,11 @@ func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
 		Latency: latency,
 		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
 	}
+	n.root.net = n
 	n.statsSh = []*metrics.Counter{&n.Stats}
 	n.deliveredSh = []metrics.Handle{n.Stats.Handle("delivered")}
+	n.boundInSh = []metrics.Handle{n.Stats.Handle("boundary.in")}
+	n.boundOutSh = []metrics.Handle{n.Stats.Handle("boundary.out")}
 	n.freePktSh = make([]*Packet, 1)
 	return n
 }
@@ -165,11 +233,14 @@ func NewNetwork(s *sim.Simulator, latency LatencyFunc) *Network {
 // NewShardedNetwork creates a network driven by a parallel sharded engine.
 // Sites are assigned to shards round-robin as they are added, hosts run on
 // their site's shard, and cross-shard packets travel through the engine's
-// deterministic lanes. Restrictions versus the classic network: only the
-// root realm (no NAT/firewall realms — middlebox state is not shard-safe),
-// and Stats must be read through TotalStats() (per-shard counters merge on
-// demand). Sim aliases shard 0 for code that only needs a clock between
-// runs.
+// deterministic lanes. Private realms are supported and shard-affine: a
+// middlebox chain is pinned to one site (and shard) by the first AddHost
+// behind it, every later host behind the same chain must live at that site,
+// and all NAT/firewall state is touched only on the owning shard's timeline
+// (outbound translation at send on the sender's shard, inbound translation
+// deferred to the realm's shard — see deliverBoundary). Stats must be read
+// through TotalStats() (per-shard counters merge on demand). Sim aliases
+// shard 0 for code that only needs a clock between runs.
 func NewShardedNetwork(eng *sim.Sharded, latency LatencyFunc) *Network {
 	n := &Network{
 		Sim:     eng.Shard(0),
@@ -177,13 +248,15 @@ func NewShardedNetwork(eng *sim.Sharded, latency LatencyFunc) *Network {
 		root:    &Realm{Name: "internet", hosts: make(map[IP]*Host), nextIP: MustParseIP("128.0.0.1")},
 		engine:  eng,
 	}
+	n.root.net = n
 	k := eng.Shards()
 	n.shStats = metrics.NewSharded(k)
 	n.statsSh = make([]*metrics.Counter, k)
-	n.deliveredSh = make([]metrics.Handle, k)
+	n.deliveredSh = n.shStats.Handles("delivered")
+	n.boundInSh = n.shStats.Handles("boundary.in")
+	n.boundOutSh = n.shStats.Handles("boundary.out")
 	for i := 0; i < k; i++ {
 		n.statsSh[i] = n.shStats.Shard(i)
-		n.deliveredSh[i] = n.statsSh[i].Handle("delivered")
 	}
 	n.freePktSh = make([]*Packet, k)
 	return n
@@ -246,17 +319,21 @@ func (n *Network) AddSite(name string) *Site {
 }
 
 // AddRealm creates a private realm behind boundary, attached under outer.
-// Hosts added to it allocate IPs from ipBase upward.
+// Hosts added to it allocate IPs from ipBase upward. In a sharded network
+// the new realm joins its outer chain's shard pin (if the chain is already
+// pinned); otherwise the first AddHost behind the chain pins it.
 func (n *Network) AddRealm(name string, outer *Realm, boundary Boundary, ipBase IP) *Realm {
-	if n.engine != nil {
-		panic("phys: sharded networks support only the root realm (middlebox state is not shard-safe)")
-	}
 	r := &Realm{
 		Name:     name,
+		net:      n,
 		parent:   outer,
 		boundary: boundary,
 		hosts:    make(map[IP]*Host),
 		nextIP:   ipBase,
+	}
+	if n.engine != nil && outer.pinned {
+		r.site = outer.site
+		r.pinned = true
 	}
 	outer.children = append(outer.children, childBoundary{b: boundary, inner: r})
 	boundary.Attach(r, outer)
@@ -282,8 +359,20 @@ type HostConfig struct {
 }
 
 // AddHost creates a host at site in realm with an automatically allocated
-// address.
+// address. In a sharded network the first host placed behind a middlebox
+// chain pins the whole chain to its site's shard; every later host behind
+// the same chain must use the same site (one middlebox fronts one network
+// location, and a single site keeps the chain's latency well-defined).
 func (n *Network) AddHost(name string, site *Site, realm *Realm, cfg HostConfig) *Host {
+	if n.engine != nil && realm.parent != nil {
+		switch {
+		case !realm.pinned:
+			realm.chainTop().pinChain(site)
+		case realm.site != site:
+			panic(fmt.Sprintf("phys: sharded realm %q is pinned to site %q (shard %d); host %q at site %q must share the chain's site",
+				realm.Name, realm.site.Name, realm.site.shard, name, site.Name))
+		}
+	}
 	ip := realm.NextIP()
 	if cfg.LoadFactor == 0 {
 		cfg.LoadFactor = 1
@@ -296,6 +385,7 @@ func (n *Network) AddHost(name string, site *Site, realm *Realm, cfg HostConfig)
 		Name:      name,
 		Site:      site,
 		realm:     realm,
+		uid:       uint32(len(n.hosts) + 1),
 		ip:        ip,
 		cfg:       cfg,
 		up:        true,
@@ -313,8 +403,10 @@ func (n *Network) AddHost(name string, site *Site, realm *Realm, cfg HostConfig)
 }
 
 // route walks the packet from the sender's realm to a destination host,
-// applying boundary translations. It returns the destination host, or nil
-// with a loss-reason counter name.
+// applying boundary translations synchronously. It returns the destination
+// host, or nil with a loss-reason counter name. This is the classic
+// unsharded pipeline; sharded networks use routeSharded + deliverBoundary
+// so middlebox state is only touched on its owning shard.
 func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
 	realm := from
 	for hops := 0; hops < 64; hops++ {
@@ -327,6 +419,7 @@ func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
 				if !cb.b.Inbound(now, p) {
 					return nil, "lost.boundary"
 				}
+				n.boundInSh[0].Inc(1)
 				realm = cb.inner
 				descended = true
 				break
@@ -341,9 +434,96 @@ func (n *Network) route(now sim.Time, p *Packet, from *Realm) (*Host, string) {
 		if !realm.boundary.Outbound(now, p) {
 			return nil, "lost.boundary"
 		}
+		n.boundOutSh[0].Inc(1)
 		realm = realm.parent
 	}
 	return nil, "lost.noroute"
+}
+
+// routeSharded is the sender-shard half of the sharded routing pipeline.
+// It ascends the sender's own middlebox chain applying outbound
+// translations — legal on this shard, because the sender's chain is pinned
+// to the sender's site — and resolves the packet's target: either a host
+// directly visible at some ascent level (classic delivery), or the pinned
+// private realm whose boundary claims the destination address. In the
+// latter case no inbound state is touched here: the descent (and its NAT
+// table mutations) is deferred to the claiming realm's owning shard via
+// deliverBoundary. Claims is read-only by contract, so probing other
+// chains' boundaries from this shard is race-free.
+func (n *Network) routeSharded(now sim.Time, p *Packet, src *Host) (*Host, *Realm, string) {
+	realm := src.realm
+	for hops := 0; hops < 64; hops++ {
+		if h, ok := realm.hosts[p.Dst.IP]; ok {
+			return h, nil, ""
+		}
+		for _, cb := range realm.children {
+			if cb.b.Claims(p.Dst.IP) {
+				if !cb.inner.pinned {
+					// No host was ever placed behind this boundary, so the
+					// chain has no owning shard — and no possible receiver.
+					return nil, nil, "lost.noroute"
+				}
+				return nil, cb.inner, ""
+			}
+		}
+		if realm.parent == nil {
+			return nil, nil, "lost.noroute"
+		}
+		if !realm.boundary.Outbound(now, p) {
+			return nil, nil, "lost.boundary"
+		}
+		n.boundOutSh[src.shard].Inc(1)
+		realm = realm.parent
+	}
+	return nil, nil, "lost.noroute"
+}
+
+// deliverBoundary is the owning-shard half of the sharded pipeline: it runs
+// on the claiming realm's shard at the packet's arrival time. The descent —
+// boundary Inbound translations, nested chains included, down to the
+// resolved host's receive pipeline — executes entirely on this shard, so
+// every mutation of the chain's middlebox state is single-threaded. The
+// destination's liveness is therefore judged at arrival rather than at send
+// time, which only this path does (the host was not resolvable on the
+// sender's shard).
+func deliverBoundary(a any) {
+	p := a.(*Packet)
+	realm := p.entry
+	p.entry = nil
+	n := realm.net
+	sh := realm.site.shard
+	checkPacketLive(p, sh, "boundary")
+	now := n.engine.Shard(sh).Now()
+	if !realm.boundary.Inbound(now, p) {
+		n.drop(sh, "lost.boundary", p)
+		return
+	}
+	n.boundInSh[sh].Inc(1)
+	for hops := 0; hops < 64; hops++ {
+		if h, ok := realm.hosts[p.Dst.IP]; ok {
+			p.dest = h
+			h.receive(p)
+			return
+		}
+		descended := false
+		for _, cb := range realm.children {
+			if cb.b.Claims(p.Dst.IP) {
+				if !cb.b.Inbound(now, p) {
+					n.drop(sh, "lost.boundary", p)
+					return
+				}
+				n.boundInSh[sh].Inc(1)
+				realm = cb.inner
+				descended = true
+				break
+			}
+		}
+		if !descended {
+			n.drop(sh, "lost.noroute", p)
+			return
+		}
+	}
+	n.drop(sh, "lost.noroute", p)
 }
 
 // send injects a packet from host src. It computes the delivery schedule
@@ -371,18 +551,37 @@ func (n *Network) send(src *Host, p *Packet) {
 		src.txBusyUntil = depart
 	}
 
-	dst, reason := n.route(now, p, src.realm)
-	if dst == nil {
+	var dst *Host
+	var entry *Realm
+	var reason string
+	if n.engine == nil {
+		dst, reason = n.route(now, p, src.realm)
+	} else {
+		dst, entry, reason = n.routeSharded(now, p, src)
+	}
+	if reason != "" {
 		n.drop(src.shard, reason, p)
 		return
 	}
-	if !dst.up {
-		n.drop(src.shard, "lost.hostdown", p)
-		return
+	dstSite := src.Site
+	if dst != nil {
+		if !dst.up {
+			n.drop(src.shard, "lost.hostdown", p)
+			return
+		}
+		dstSite = dst.Site
+	} else {
+		// Boundary-deferred target: the chain is pinned to one site, so the
+		// wide-area path (and the cross-shard lookahead bound) is the
+		// site-to-site path even though the exact host resolves later.
+		dstSite = entry.site
 	}
 
-	pm := n.Latency(src.Site, dst.Site)
-	if n.Perturb != nil {
+	pm := n.Latency(src.Site, dstSite)
+	if n.Perturb != nil && dst != nil {
+		// Fault injection sees resolved host pairs only; boundary-deferred
+		// packets (sharded NAT descents) bypass the hook — the destination
+		// host is unknown until the owning shard translates.
 		var blackhole bool
 		pm, blackhole = n.Perturb(src, dst, pm)
 		if blackhole {
@@ -403,17 +602,33 @@ func (n *Network) send(src *Host, p *Packet) {
 	}
 
 	arrive := depart.Add(prop)
-	p.dest = dst
-	if dst.shard == src.shard {
-		src.sim.AtArg(arrive, deliverPacket, p)
+	if dst != nil {
+		p.dest = dst
+		if dst.shard == src.shard {
+			src.sim.AtArg(arrive, deliverPacket, p)
+			return
+		}
+		// Cross-shard delivery: ownership of the packet transfers to the
+		// destination shard, and the engine's lane merge guarantees the
+		// destination sees it in deterministic timestamp order. The engine
+		// panics if arrive violates the lookahead (latency floor too small).
+		packetCrossShard(p, dst.shard)
+		n.engine.Send(src.shard, dst.shard, arrive, deliverPacket, p)
 		return
 	}
-	// Cross-shard delivery: ownership of the packet transfers to the
-	// destination shard, and the engine's lane merge guarantees the
-	// destination sees it in deterministic timestamp order. The engine
-	// panics if arrive violates the lookahead (latency floor too small).
-	packetCrossShard(p, dst.shard)
-	n.engine.Send(src.shard, dst.shard, arrive, deliverPacket, p)
+	// Boundary-deferred delivery: the packet arrives at the claiming
+	// realm's boundary on that realm's shard, where the inbound descent
+	// translates and resolves the final host (deliverBoundary). The owner
+	// re-stamp mirrors the direct cross-shard case — the pool's
+	// single-owner rule holds across the realm boundary too.
+	p.entry = entry
+	sh := entry.site.shard
+	if sh == src.shard {
+		src.sim.AtArg(arrive, deliverBoundary, p)
+		return
+	}
+	packetCrossShard(p, sh)
+	n.engine.Send(src.shard, sh, arrive, deliverBoundary, p)
 }
 
 // deliverPacket is the propagation-done callback: package-level so AtArg
@@ -439,16 +654,18 @@ func (n *Network) drop(sh int, reason string, p *Packet) {
 
 // allocConnID issues a stream connection ID. The classic network keeps
 // the historical global counter (IDs are stable for golden traces); a
-// sharded network derives IDs from the dialing host's address and a
-// host-local counter, which is both shard-safe and globally unique — the
-// sharded network has a single realm, so host IPs never collide.
+// sharded network derives IDs from the dialing host's network-wide uid and
+// a host-local counter, which is shard-safe (no global counter to race on)
+// and realm-proof: private-realm hosts reuse the same RFC1918 addresses
+// behind every NAT, so an IP-derived ID would collide across realms, but
+// the uid is unique over the whole network regardless of realm.
 func (n *Network) allocConnID(h *Host) uint64 {
 	if n.engine == nil {
 		n.nextConnID++
 		return n.nextConnID
 	}
 	h.nextConnID++
-	return uint64(h.ip)<<32 | (h.nextConnID & 0xffffffff)
+	return uint64(h.uid)<<32 | (h.nextConnID & 0xffffffff)
 }
 
 // AllHosts returns every host in creation order.

@@ -23,11 +23,12 @@ func (n *Network) acquirePacket(sh int) *Packet {
 }
 
 // releasePacket retires a packet to shard sh's free list once its delivery
-// (or drop) callback has returned. Payload and dest are cleared so the
-// pool never pins payload objects or hosts.
+// (or drop) callback has returned. Payload, dest and entry are cleared so
+// the pool never pins payload objects, hosts or realms.
 func (n *Network) releasePacket(sh int, p *Packet) {
 	p.Payload = nil
 	p.dest = nil
+	p.entry = nil
 	p.nextFree = n.freePktSh[sh]
 	n.freePktSh[sh] = p
 }

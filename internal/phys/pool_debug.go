@@ -12,10 +12,14 @@ import "fmt"
 // poisoned packet re-entering the delivery pipeline (send, deliver, drop)
 // panics at the checkpoint. The pool is also shard-aware: every packet
 // carries the shard whose free list owns it (re-stamped by the engine
-// hand-off when it crosses shards), and a release or pipeline touch by any
-// other shard panics — the single-owner rule that keeps lock-free pooling
-// sound under parallel execution. CI runs the phys tests with this tag
-// under -race so all misuse classes surface loudly.
+// hand-off when it crosses shards — including boundary-deferred packets,
+// which are re-stamped to the claiming realm's owning shard before the
+// inbound NAT/firewall descent runs there), and a release or pipeline
+// touch by any other shard panics — the single-owner rule that keeps
+// lock-free pooling sound under parallel execution. deliverBoundary
+// re-checks liveness and ownership at the realm boundary ("boundary"
+// checkpoint). CI runs the phys tests with this tag under -race so all
+// misuse classes surface loudly.
 
 // acquirePacket always allocates: released packets stay poisoned forever,
 // so any retained pointer keeps tripping checks instead of aliasing a
@@ -40,6 +44,7 @@ func (n *Network) releasePacket(sh int, p *Packet) {
 	p.Size = -1
 	p.Payload = "phys: use of released packet"
 	p.dest = nil
+	p.entry = nil
 }
 
 // checkPacketLive panics if a released packet re-enters the pipeline, or

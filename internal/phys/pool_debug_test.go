@@ -72,6 +72,64 @@ func TestPacketDebugCrossShardUse(t *testing.T) {
 	checkPacketLive(p, 1, "send") // owner passes
 }
 
+// A boundary-deferred packet crossing shards is re-stamped to the realm's
+// owning shard before the inbound NAT descent runs there: the receiver
+// behind the boundary sees a packet owned by its own shard, so the
+// single-owner pool rule holds across realm boundaries too.
+func TestPacketDebugBoundaryRestamp(t *testing.T) {
+	eng := sim.NewSharded(7, 2, 1)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 20 * sim.Millisecond},
+	))
+	pubSite := net.AddSite("pub") // shard 0
+	lanSite := net.AddSite("lan") // shard 1
+	floor, _ := net.CrossShardFloor()
+	eng.SetLookahead(floor)
+	pub := net.AddHost("pub", pubSite, net.Root(), HostConfig{})
+	nat := &fakeNAT{public: net.Root().NextIP()}
+	lan := net.AddRealm("lan", net.Root(), nat, MustParseIP("10.0.0.1"))
+	inside := net.AddHost("inside", lanSite, lan, HostConfig{})
+
+	ps, _ := pub.Listen(200)
+	is, _ := inside.Listen(100)
+	ps.OnRecv = func(p *Packet) { ps.Send(p.Src, 16, "pong") }
+	got := 0
+	is.OnRecv = func(p *Packet) {
+		got++
+		if p.ownerShard != 1 {
+			t.Errorf("boundary-deferred packet owned by shard %d at delivery, want 1", p.ownerShard)
+		}
+	}
+	eng.Shard(1).At(0, func() { is.Send(Endpoint{IP: pub.IP(), Port: 200}, 32, "ping") })
+	eng.RunUntil(sim.Time(sim.Second))
+	if got != 1 {
+		t.Fatalf("delivered %d replies through the boundary, want 1", got)
+	}
+}
+
+// A released packet re-entering the pipeline at the realm boundary panics
+// at the "boundary" checkpoint.
+func TestPacketDebugBoundaryCheckpoint(t *testing.T) {
+	eng := sim.NewSharded(7, 2, 1)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 20 * sim.Millisecond},
+	))
+	net.AddSite("pub")
+	lanSite := net.AddSite("lan")
+	nat := &fakeNAT{public: net.Root().NextIP()}
+	lan := net.AddRealm("lan", net.Root(), nat, MustParseIP("10.0.0.1"))
+	net.AddHost("inside", lanSite, lan, HostConfig{})
+
+	p := net.acquirePacket(1)
+	net.releasePacket(1, p)
+	p.entry = lan // simulate a stale pointer re-entering the boundary path
+	mustPanic(t, "use of released packet in boundary", func() { deliverBoundary(p) })
+}
+
 // An OnRecv handler that retains the packet sees it poisoned after the
 // callback returns — the misuse the detector exists to catch.
 func TestPacketDebugRetainedPacketIsPoisoned(t *testing.T) {

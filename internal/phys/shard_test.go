@@ -77,18 +77,212 @@ func TestShardedNetworkDeliversAcrossShards(t *testing.T) {
 	}
 }
 
-// TestShardedNetworkRejectsRealms: middlebox state is not shard-safe, so
-// sharded networks are root-realm only.
-func TestShardedNetworkRejectsRealms(t *testing.T) {
+// TestShardedRealmPinning: private realms are shard-affine. A chain is
+// unpinned until its first host, the first AddHost anywhere in the chain
+// pins the whole chain (top realm and nested realms both ways), realms
+// added to a pinned chain inherit the pin, and a host at a different site
+// is rejected.
+func TestShardedRealmPinning(t *testing.T) {
 	eng := sim.NewSharded(1, 2, 1)
 	defer eng.Close()
 	net := NewShardedNetwork(eng, UniformLatency(PathModel{}, PathModel{OneWay: sim.Millisecond}))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddRealm on a sharded network must panic")
-		}
+	s0 := net.AddSite("s0") // shard 0
+	s1 := net.AddSite("s1") // shard 1
+
+	nat := &fakeNAT{public: net.Root().NextIP()}
+	lan := net.AddRealm("lan", net.Root(), nat, MustParseIP("10.0.0.1"))
+	inner := net.AddRealm("inner", lan, &fakeNAT{public: MustParseIP("10.0.0.200")}, MustParseIP("192.168.0.1"))
+	if lan.Site() != nil || inner.Site() != nil {
+		t.Fatal("realms pinned before any host")
+	}
+	// First host lands in the NESTED realm: the pin must climb to the chain
+	// top and cover every realm of the chain.
+	net.AddHost("deep", s1, inner, HostConfig{})
+	if lan.Site() != s1 || inner.Site() != s1 {
+		t.Fatalf("chain not pinned to s1: lan=%v inner=%v", lan.Site(), inner.Site())
+	}
+	if lan.Shard() != s1.Shard() || inner.Shard() != s1.Shard() {
+		t.Fatalf("chain shards = %d,%d, want %d", lan.Shard(), inner.Shard(), s1.Shard())
+	}
+	// A realm attached to a pinned chain inherits the pin immediately.
+	late := net.AddRealm("late", lan, &fakeNAT{public: MustParseIP("10.0.0.201")}, MustParseIP("172.16.0.1"))
+	if late.Site() != s1 {
+		t.Fatalf("late realm did not inherit pin: %v", late.Site())
+	}
+	// Same-site hosts are fine anywhere in the chain.
+	net.AddHost("peer", s1, lan, HostConfig{})
+	// A host at another site must panic: one middlebox fronts one location.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AddHost at a different site than the chain pin must panic")
+			}
+		}()
+		net.AddHost("stray", s0, lan, HostConfig{})
 	}()
-	net.AddRealm("nat", net.Root(), nil, MustParseIP("10.0.0.1"))
+	// The root realm never pins.
+	net.AddHost("pub", s0, net.Root(), HostConfig{})
+	if net.Root().Site() != nil || net.Root().Shard() != 0 {
+		t.Fatal("root realm must stay unpinned")
+	}
+}
+
+// runShardedNATExchange drives a NATed host (shard 1) pinging a public
+// host (shard 0) and back: outbound translation happens on the sender's
+// shard, the replies are boundary-deferred to the realm's owning shard.
+func runShardedNATExchange(t *testing.T, workers, count int) (logIn, logOut []sim.Time, stats string, events uint64) {
+	t.Helper()
+	eng := sim.NewSharded(7, 2, workers)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 20 * sim.Millisecond, Jitter: 5 * sim.Millisecond},
+	))
+	pubSite := net.AddSite("pub") // shard 0
+	lanSite := net.AddSite("lan") // shard 1
+	floor, ok := net.CrossShardFloor()
+	if !ok {
+		t.Fatal("no cross-shard site pairs")
+	}
+	eng.SetLookahead(floor)
+
+	pub := net.AddHost("pub", pubSite, net.Root(), HostConfig{})
+	nat := &fakeNAT{public: net.Root().NextIP()}
+	lan := net.AddRealm("lan", net.Root(), nat, MustParseIP("10.0.0.1"))
+	inside := net.AddHost("inside", lanSite, lan, HostConfig{})
+	if lan.Shard() != 1 {
+		t.Fatalf("lan realm on shard %d, want 1", lan.Shard())
+	}
+
+	ps, err := pub.Listen(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := inside.Listen(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.OnRecv = func(p *Packet) {
+		if p.Src.IP != nat.public {
+			t.Errorf("public host saw untranslated source %v", p.Src)
+		}
+		logOut = append(logOut, pub.Sim().Now())
+		ps.Send(p.Src, 16, "pong")
+	}
+	is.OnRecv = func(p *Packet) {
+		if p.Dst.IP != inside.IP() {
+			t.Errorf("inbound translation missed: dst %v", p.Dst)
+		}
+		logIn = append(logIn, inside.Sim().Now())
+	}
+	for i := 0; i < count; i++ {
+		at := sim.Time(i) * sim.Time(3*sim.Millisecond)
+		eng.Shard(1).At(at, func() { is.Send(Endpoint{IP: pub.IP(), Port: 200}, 32, "ping") })
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	total := net.TotalStats()
+	if got := total.Get("boundary.out"); got != int64(count) {
+		t.Fatalf("boundary.out = %d, want %d", got, count)
+	}
+	if got := total.Get("boundary.in"); got != int64(count) {
+		t.Fatalf("boundary.in = %d, want %d", got, count)
+	}
+	return logIn, logOut, total.String(), eng.Processed()
+}
+
+// TestShardedNATBoundaryDelivery: a NAT behind the parallel engine
+// translates in both directions across shards, counts translations on the
+// owning shard, and the whole trace is worker-invariant.
+func TestShardedNATBoundaryDelivery(t *testing.T) {
+	const count = 40
+	in1, out1, s1, e1 := runShardedNATExchange(t, 1, count)
+	if len(out1) != count || len(in1) != count {
+		t.Fatalf("delivered %d pings / %d pongs, want %d each; stats: %s", len(out1), len(in1), count, s1)
+	}
+	in2, out2, s2, e2 := runShardedNATExchange(t, 2, count)
+	if !reflect.DeepEqual(in1, in2) || !reflect.DeepEqual(out1, out2) {
+		t.Fatal("NAT delivery trace depends on worker count")
+	}
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("stats/event totals depend on worker count: %q/%d vs %q/%d", s1, e1, s2, e2)
+	}
+}
+
+// TestShardedUnpinnedRealmUnroutable: an address claimed by a boundary
+// with no hosts behind it has no owning shard and no possible receiver —
+// the packet drops as lost.noroute instead of crashing the engine.
+func TestShardedUnpinnedRealmUnroutable(t *testing.T) {
+	eng := sim.NewSharded(3, 2, 1)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 10 * sim.Millisecond},
+	))
+	pubSite := net.AddSite("pub")
+	net.AddSite("other")
+	floor, _ := net.CrossShardFloor()
+	eng.SetLookahead(floor)
+	pub := net.AddHost("pub", pubSite, net.Root(), HostConfig{})
+	nat := &fakeNAT{public: net.Root().NextIP()}
+	net.AddRealm("empty", net.Root(), nat, MustParseIP("10.0.0.1"))
+
+	s, _ := pub.Listen(0)
+	eng.Shard(0).At(0, func() { s.Send(Endpoint{IP: nat.public, Port: 77}, 8, "x") })
+	eng.RunUntil(sim.Time(sim.Second))
+	total := net.TotalStats()
+	if got := total.Get("lost.noroute"); got != 1 {
+		t.Fatalf("lost.noroute = %d, want 1", got)
+	}
+}
+
+// TestShardedConnIDsUniqueAcrossRealms: hosts in different private realms
+// reuse the same RFC1918 addresses, and the listener side demultiplexes
+// streams by connection ID alone — so IDs derived from the dialer's IP
+// would collide and hijack each other's streams. The sharded allocator
+// derives IDs from the network-wide host uid instead.
+func TestShardedConnIDsUniqueAcrossRealms(t *testing.T) {
+	eng := sim.NewSharded(11, 2, 2)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(
+		PathModel{OneWay: sim.Millisecond},
+		PathModel{OneWay: 20 * sim.Millisecond, Jitter: 5 * sim.Millisecond},
+	))
+	pubSite := net.AddSite("pub") // shard 0
+	lanSite1 := net.AddSite("l1") // shard 1
+	lanSite2 := net.AddSite("l2") // shard 0
+	floor, _ := net.CrossShardFloor()
+	eng.SetLookahead(floor)
+
+	pub := net.AddHost("pub", pubSite, net.Root(), HostConfig{})
+	natA := &fakeNAT{public: net.Root().NextIP()}
+	natB := &fakeNAT{public: net.Root().NextIP()}
+	lanA := net.AddRealm("lanA", net.Root(), natA, MustParseIP("10.0.0.1"))
+	lanB := net.AddRealm("lanB", net.Root(), natB, MustParseIP("10.0.0.1"))
+	a := net.AddHost("a", lanSite1, lanA, HostConfig{})
+	b := net.AddHost("b", lanSite2, lanB, HostConfig{})
+	if a.IP() != b.IP() {
+		t.Fatalf("want colliding private IPs, got %v vs %v", a.IP(), b.IP())
+	}
+
+	var ids []uint64
+	msgs := 0
+	pub.ListenStream(7000, func(st *Stream) {
+		ids = append(ids, st.connID)
+		st.OnMessage(func(size int, payload any) { msgs++ })
+	})
+	eng.Shard(a.Shard()).At(0, func() {
+		a.DialStream(Endpoint{IP: pub.IP(), Port: 7000}).SendMsg(64, "from-a")
+	})
+	eng.Shard(b.Shard()).At(0, func() {
+		b.DialStream(Endpoint{IP: pub.IP(), Port: 7000}).SendMsg(64, "from-b")
+	})
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if len(ids) != 2 || msgs != 2 {
+		t.Fatalf("accepted %d streams, delivered %d messages, want 2/2", len(ids), msgs)
+	}
+	if ids[0] == ids[1] {
+		t.Fatalf("conn IDs collide across realms: %#x", ids[0])
+	}
 }
 
 // TestUnshardedStatsUnchanged: the classic network still exposes Stats

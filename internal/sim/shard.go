@@ -111,8 +111,12 @@ func (g *Sharded) Shard(i int) *Simulator { return g.shards[i] }
 // SetLookahead sets the conservative window length: the guaranteed
 // minimum delay of any cross-shard event, i.e. the infimum of inter-site
 // delivery latency between hosts on different shards (phys computes it
-// with Network.CrossShardFloor). Must be positive before a multi-shard
-// RunUntil.
+// with Network.CrossShardFloor). Middlebox (realm-boundary) traversal
+// never shrinks this bound: a boundary-deferred packet crosses shards
+// exactly once, at its wide-area arrival time, and the inbound NAT or
+// firewall descent then executes at that same timestamp on the receiving
+// shard — translation adds work, not an earlier cross-shard event. Must
+// be positive before a multi-shard RunUntil.
 func (g *Sharded) SetLookahead(d Duration) {
 	if d <= 0 {
 		panic("sim: lookahead must be positive")
@@ -276,6 +280,10 @@ func (g *Sharded) RunUntil(t Time) {
 		s.AdvanceTo(t)
 	}
 }
+
+// RunFor advances every shard d beyond the engine's current clock, like
+// Simulator.RunFor but across all shards.
+func (g *Sharded) RunFor(d Duration) { g.RunUntil(g.Now().Add(d)) }
 
 // mergeLanes drains every cross-shard lane into its destination shard in
 // the canonical order. Lanes are concatenated in source-shard order and
