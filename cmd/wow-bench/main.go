@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers,scale,nat")
+	run := flag.String("run", "all", "comma-separated experiments: join,fig4,fig5,table2,fig6,fig7,fig8,table3,outage,virt,ablations,resilience,faults,schedulers,scale,nat,gray")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trials := flag.Int("trials", 20, "trials per join scenario (paper: 100)")
 	jobs := flag.Int("jobs", 1000, "MEME jobs for fig8 (paper: 4000)")
@@ -70,7 +70,7 @@ func main() {
 		"table2": true, "fig6": true, "fig7": true, "fig8": true,
 		"table3": true, "outage": true, "virt": true, "ablations": true,
 		"resilience": true, "faults": true, "schedulers": true,
-		"scale": true, "nat": true,
+		"scale": true, "nat": true, "gray": true,
 	}
 	want := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {
@@ -270,6 +270,33 @@ func main() {
 			}
 			sr, err := experiments.RunSymmetricRing(srOpts)
 			show("symmetric-ring", sr, err)
+		})
+	}
+	if section("gray", "Gray failures: fixed vs adaptive detector survivability") {
+		timed(func() {
+			// The bench-wide -nodes default (2000) is sized for the scale
+			// harness; gray's own default is 32. Honor -nodes only when the
+			// user passed it explicitly.
+			gOpts := experiments.GrayOpts{Seed: *seed, Shards: *shards, Workers: *workers}
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "nodes" {
+					gOpts.Nodes = *nodes
+				}
+			})
+			gOpts.OnProgress = func(p experiments.GrayPoint) {
+				if *jsonOut {
+					line, _ := json.Marshal(map[string]any{
+						"experiment": "gray.series", "seed": *seed, "data": p,
+					})
+					fmt.Println(string(line))
+					return
+				}
+				fmt.Fprintf(narrate, "  [%8s] w%d t=%6.0fs virt  routable %5.1f%%  false %4d  confirmed %3d  deaths %3d  detect %6.0fms  %10d events\n",
+					p.Detector, p.Window, p.VirtualSec, p.RoutableFrac*100,
+					p.FalseSuspects, p.Confirmed, p.Deaths, p.MeanDetectMs, p.Events)
+			}
+			res, err := experiments.RunGrayCompare(gOpts)
+			show("gray", res, err)
 		})
 	}
 	if section("scale", "Scale harness: 1k-20k-node overlay, routing hot path") {

@@ -47,6 +47,33 @@ type Connection struct {
 	pingRetry int
 	awaiting  uint64 // outstanding ping seq; 0 = none
 	closed    bool
+
+	// srtt/rttvar are the Jacobson estimators fed by keepalive RTT
+	// samples (Karn's rule: retransmitted rounds are never sampled);
+	// haveRTT marks the first sample. They drive the adaptive ping
+	// deadline and the tunnel-relay score.
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	haveRTT bool
+	// pingSentAt stamps the departure of the outstanding ping round.
+	pingSentAt sim.Time
+	// suspected marks a connection under a fast probe after a forwarded
+	// death verdict: a pong clears it as a false suspicion, a timeout
+	// confirms it.
+	suspected bool
+	// timedOut marks that at least one ping deadline actually expired in
+	// the current round (fastProbe inflates pingRetry without one);
+	// traffic arriving with it set counts as a premature timeout.
+	timedOut bool
+	// peerLoad is the peer's last advertised relay load (pongs, or a CTM
+	// NeighborInfo before the first pong); loadKnown marks a first-hand
+	// pong value, which third-party adverts never overwrite.
+	peerLoad  int
+	loadKnown bool
+	// activeRelay anchors a tunnel edge's relay hysteresis: the relay the
+	// last frame used, kept until it dies or a challenger beats it by
+	// more than Config.RelayHysteresis.
+	activeRelay Addr
 	// dropReason records why dropConnection tore the connection down
 	// ("timeout", "leave", …), readable by OnDisconnection callbacks —
 	// the repair overlord re-links only involuntary losses.
@@ -55,6 +82,35 @@ type Connection struct {
 
 // Has reports whether the connection serves the given role.
 func (c *Connection) Has(t ConnType) bool { return c.types[t] }
+
+// RTT reports the connection's smoothed round-trip estimate and variance;
+// ok is false before the first keepalive sample.
+func (c *Connection) RTT() (srtt, rttvar sim.Duration, ok bool) {
+	return c.srtt, c.rttvar, c.haveRTT
+}
+
+// PeerLoad reports the peer's last advertised relay load.
+func (c *Connection) PeerLoad() int { return c.peerLoad }
+
+// observeRTT folds one clean round-trip sample into the estimators:
+// the standard Jacobson update (srtt ← 7/8·srtt + 1/8·rtt,
+// rttvar ← 3/4·rttvar + 1/4·|srtt − rtt|), initialized from the first
+// sample as srtt = rtt, rttvar = rtt/2.
+func (c *Connection) observeRTT(rtt sim.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if !c.haveRTT {
+		c.srtt, c.rttvar, c.haveRTT = rtt, rtt/2, true
+		return
+	}
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
 
 // DropReason reports why the connection was torn down ("timeout",
 // "leave", …) — meaningful only inside OnDisconnection callbacks.
@@ -313,23 +369,62 @@ func (n *Node) sendConn(c *Connection, size int, payload any) {
 	n.sendDirect(c.EP, size, payload)
 }
 
-// liveRelay returns the first relay in c.Relays reachable over a direct
-// (non-tunneled) connection, or nil. Tunnels never nest: a relay that is
-// itself only reachable through a tunnel cannot carry frames.
-func (n *Node) liveRelay(c *Connection) *Connection {
-	for _, r := range c.Relays {
-		rc, ok := n.conns[r]
-		if ok && !rc.closed && !rc.Tunneled() {
-			return rc
-		}
+// relayScore ranks one relay candidate for a tunnel edge: the observed
+// smoothed RTT to it (PingTimeout standing in before the first sample)
+// plus a penalty per tunnel pair the relay advertises it already carries.
+// Lower is better.
+func (n *Node) relayScore(rc *Connection) sim.Duration {
+	rtt := n.cfg.PingTimeout
+	if rc.haveRTT {
+		rtt = rc.srtt
 	}
-	return nil
+	return rtt + sim.Duration(rc.peerLoad)*n.cfg.RelayLoadPenalty
 }
 
-// sendTunnel wraps payload in a tunnelFrame and sends it to a live relay
-// for forwarding to the tunnel peer.
+// bestRelay picks the relay to carry c's next frame: the lowest-scoring
+// relay reachable over a direct (non-tunneled) connection — tunnels never
+// nest. Hysteresis keeps the edge on its current relay unless a challenger
+// beats it by more than Config.RelayHysteresis, so score wobble on
+// flapping links doesn't thrash re-selection; a dead active relay fails
+// over to the next-ranked one instantly. Score ties resolve to the
+// lowest-addressed relay (c.Relays is sorted), which is exactly the old
+// first-live-wins choice when no RTT or load information distinguishes
+// the candidates.
+func (n *Node) bestRelay(c *Connection) *Connection {
+	var best, active *Connection
+	var bestScore, activeScore sim.Duration
+	for _, r := range c.Relays {
+		rc, ok := n.conns[r]
+		if !ok || rc.closed || rc.Tunneled() {
+			continue
+		}
+		s := n.relayScore(rc)
+		if best == nil || s < bestScore {
+			best, bestScore = rc, s
+		}
+		if r == c.activeRelay {
+			active, activeScore = rc, s
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if active != nil && activeScore <= bestScore+n.cfg.RelayHysteresis {
+		return active
+	}
+	if active == nil && !c.activeRelay.IsZero() {
+		n.Stats.Inc("tunnel.relay_failover", 1)
+	} else if active != nil {
+		n.Stats.Inc("tunnel.relay_switched", 1)
+	}
+	c.activeRelay = best.Peer
+	return best
+}
+
+// sendTunnel wraps payload in a tunnelFrame and sends it to the
+// best-scoring live relay for forwarding to the tunnel peer.
 func (n *Node) sendTunnel(c *Connection, size int, payload any) {
-	rc := n.liveRelay(c)
+	rc := n.bestRelay(c)
 	if rc == nil {
 		n.Stats.Inc("tunnel.norelay", 1)
 		return
@@ -388,17 +483,57 @@ func (n *Node) connsOfType(t ConnType) []*Connection {
 	return out
 }
 
-// touch refreshes liveness state on any traffic from the peer.
+// touch refreshes liveness state on any traffic from the peer. Traffic
+// arriving while the detector had escalated (a ping round in retry, or a
+// suspect verdict under fast probe) counts against it as a false
+// suspicion: the peer was demonstrably alive.
 func (n *Node) touch(c *Connection) {
+	if c.suspected {
+		c.suspected = false
+		n.Stats.Inc("liveness.false_suspect", 1)
+	}
+	if c.timedOut {
+		c.timedOut = false
+		n.Stats.Inc("liveness.premature_timeout", 1)
+	}
 	c.lastHeard = n.sim.Now()
 	c.pingRetry = 0
 	c.awaiting = 0
 }
 
+// handlePong consumes a keepalive answer: an untouched round (no resend —
+// Karn's rule) whose seq matches yields a clean RTT sample, and the pong
+// carries the peer's current relay load.
+func (n *Node) handlePong(c *Connection, m pongMsg) {
+	if m.Seq != 0 && m.Seq == c.awaiting && c.pingRetry == 0 {
+		c.observeRTT(n.sim.Now().Sub(c.pingSentAt))
+	}
+	c.peerLoad = m.Load
+	c.loadKnown = true
+	n.touch(c)
+}
+
+// pingDeadline derives the wait for one ping round: the adaptive RTO
+// srtt + RTOK·rttvar clamped to [RTOMin, RTOMax] when Config.AdaptiveRTO
+// is set and a sample exists, the fixed PingTimeout otherwise.
+func (n *Node) pingDeadline(c *Connection) sim.Duration {
+	if !n.cfg.AdaptiveRTO || !c.haveRTT {
+		return n.cfg.PingTimeout
+	}
+	d := c.srtt + sim.Duration(n.cfg.RTOK)*c.rttvar
+	if d < n.cfg.RTOMin {
+		d = n.cfg.RTOMin
+	}
+	if d > n.cfg.RTOMax {
+		d = n.cfg.RTOMax
+	}
+	return d
+}
+
 // schedulePing arms the keepalive timer for a connection.
 func (n *Node) schedulePing(c *Connection) {
 	jitter := n.cfg.PingInterval / 10
-	c.pingTimer = n.sim.After(n.cfg.PingInterval+sim.Duration(n.sim.Rand().Int63n(int64(jitter)+1)), func() {
+	c.pingTimer = n.sim.After(n.cfg.PingInterval+sim.Duration(n.rand().Int63n(int64(jitter)+1)), func() {
 		n.pingTick(c)
 	})
 }
@@ -416,14 +551,18 @@ func (n *Node) pingTick(c *Connection) {
 	n.pingSeq++
 	c.awaiting = n.pingSeq
 	c.pingRetry = 0
+	c.pingSentAt = n.sim.Now()
 	n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
 	n.Stats.Inc("ping.sent", 1)
-	n.armPingTimeout(c, n.cfg.PingTimeout)
+	n.armPingTimeout(c, n.pingDeadline(c))
 }
 
 // armPingTimeout waits for a pong; on timeout it resends with exponential
 // backoff, and after PingRetries declares the connection dead — the
 // mechanism that eventually clears state for crashed or migrated peers.
+// The death verdict feeds the liveness counters: elapsed time since the
+// peer was last heard (detection latency, in ms) and whether the verdict
+// confirmed a forwarded suspicion.
 func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
 	c.pingTimer = n.sim.After(wait, func() {
 		if c.closed || c.awaiting == 0 {
@@ -432,11 +571,16 @@ func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
 		}
 		if c.pingRetry >= n.cfg.PingRetries {
 			n.Stats.Inc("ping.dead", 1)
+			n.Stats.Inc("liveness.detect_ms", int64(n.sim.Now().Sub(c.lastHeard)/sim.Millisecond))
+			if c.suspected {
+				n.Stats.Inc("liveness.suspect_confirmed", 1)
+			}
 			n.dropConnection(c, false, "timeout")
 			n.forwardClose(c.Peer)
 			return
 		}
 		c.pingRetry++
+		c.timedOut = true
 		n.pingSeq++
 		c.awaiting = n.pingSeq
 		n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
@@ -449,8 +593,9 @@ func (n *Node) armPingTimeout(c *Connection, wait sim.Duration) {
 // budget (Config.SuspectRetries) — the fast-detection path taken when a
 // neighbor forwards a death verdict. A live peer answers and the probe
 // costs one ping; a dead one is declared in roughly
-// PingTimeout·(2^(SuspectRetries+1)−1) instead of waiting out the full
-// PingInterval + PingTimeout·(2^(PingRetries+1)−1) keepalive cycle.
+// deadline·(2^(SuspectRetries+1)−1) instead of waiting out the full
+// PingInterval + deadline·(2^(PingRetries+1)−1) keepalive cycle, where
+// the deadline is pingDeadline's fixed or adaptive value.
 func (n *Node) fastProbe(c *Connection) {
 	if c.closed || !n.up || c.awaiting != 0 {
 		return // dead already, or a ping round is in flight
@@ -460,11 +605,13 @@ func (n *Node) fastProbe(c *Connection) {
 	if c.pingRetry < 0 {
 		c.pingRetry = 0
 	}
+	c.suspected = true
 	n.pingSeq++
 	c.awaiting = n.pingSeq
+	c.pingSentAt = n.sim.Now()
 	n.sendConn(c, pingMsgSize, pingMsg{From: n.addr, Seq: c.awaiting})
 	n.Stats.Inc("ping.fast_probe", 1)
-	n.armPingTimeout(c, n.cfg.PingTimeout)
+	n.armPingTimeout(c, n.pingDeadline(c))
 }
 
 // forwardClose tells structured neighbors that the link to dead just timed

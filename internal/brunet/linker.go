@@ -405,7 +405,7 @@ func (n *Node) handleLinkError(rep linkError) {
 			shift = 5
 		}
 		backoff := n.cfg.LinkResend * sim.Duration(1<<uint(shift))
-		backoff += sim.Duration(n.sim.Rand().Int63n(int64(backoff) + 1))
+		backoff += sim.Duration(n.rand().Int63n(int64(backoff) + 1))
 		n.sim.After(backoff, func() {
 			if !n.up {
 				return

@@ -1,0 +1,332 @@
+package brunet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wow/internal/sim"
+)
+
+// TestObserveRTTJacobson pins the estimator update rule: first sample
+// initializes srtt = rtt, rttvar = rtt/2; later samples fold in as
+// srtt ← 7/8·srtt + 1/8·rtt, rttvar ← 3/4·rttvar + 1/4·|srtt − rtt|.
+func TestObserveRTTJacobson(t *testing.T) {
+	c := &Connection{}
+	if _, _, ok := c.RTT(); ok {
+		t.Fatal("RTT ok before any sample")
+	}
+	c.observeRTT(80 * sim.Millisecond)
+	srtt, rttvar, ok := c.RTT()
+	if !ok || srtt != 80*sim.Millisecond || rttvar != 40*sim.Millisecond {
+		t.Fatalf("after first sample: srtt=%v rttvar=%v ok=%v", srtt, rttvar, ok)
+	}
+	c.observeRTT(40 * sim.Millisecond)
+	// rttvar = (3·40ms + |80−40|ms)/4 = 40ms; srtt = (7·80ms + 40ms)/8 = 75ms
+	srtt, rttvar, _ = c.RTT()
+	if srtt != 75*sim.Millisecond || rttvar != 40*sim.Millisecond {
+		t.Fatalf("after second sample: srtt=%v rttvar=%v", srtt, rttvar)
+	}
+	// Negative samples (clock weirdness) are ignored, not folded in.
+	c.observeRTT(-sim.Second)
+	if s2, v2, _ := c.RTT(); s2 != srtt || v2 != rttvar {
+		t.Fatal("negative sample mutated the estimators")
+	}
+}
+
+// TestQuickAdaptiveDeadlineClamped is the satellite property: for ANY
+// sequence of RTT samples, the adaptive ping deadline stays within
+// [RTOMin, RTOMax].
+func TestQuickAdaptiveDeadlineClamped(t *testing.T) {
+	cfg := FastTestConfig()
+	cfg.AdaptiveRTO = true
+	cfg.fillDefaults()
+	n := &Node{cfg: cfg}
+	prop := func(samplesMs []uint16) bool {
+		c := &Connection{}
+		for _, ms := range samplesMs {
+			c.observeRTT(sim.Duration(ms) * sim.Millisecond)
+		}
+		d := n.pingDeadline(c)
+		if !c.haveRTT {
+			return d == cfg.PingTimeout // no sample yet: fixed fallback
+		}
+		return d >= cfg.RTOMin && d <= cfg.RTOMax
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPingDeadlineModes: fixed unless AdaptiveRTO and a sample exist, and
+// the adaptive value follows srtt + RTOK·rttvar between the clamps.
+func TestPingDeadlineModes(t *testing.T) {
+	cfg := FastTestConfig()
+	cfg.AdaptiveRTO = true
+	cfg.fillDefaults()
+	n := &Node{cfg: cfg}
+	c := &Connection{}
+	if d := n.pingDeadline(c); d != cfg.PingTimeout {
+		t.Fatalf("no-sample deadline = %v, want fixed %v", d, cfg.PingTimeout)
+	}
+	// srtt 800ms, rttvar 400ms → 800 + 4·400 = 2400ms, inside the clamps.
+	c.observeRTT(800 * sim.Millisecond)
+	want := 800*sim.Millisecond + sim.Duration(cfg.RTOK)*400*sim.Millisecond
+	if d := n.pingDeadline(c); d != want {
+		t.Fatalf("adaptive deadline = %v, want %v", d, want)
+	}
+	// A tiny RTT clamps up to the floor.
+	c2 := &Connection{}
+	c2.observeRTT(sim.Millisecond)
+	if d := n.pingDeadline(c2); d != cfg.RTOMin {
+		t.Fatalf("tiny-RTT deadline = %v, want floor %v", d, cfg.RTOMin)
+	}
+	// With the knob off the estimators run but the deadline stays fixed.
+	off := n.cfg
+	off.AdaptiveRTO = false
+	nOff := &Node{cfg: off}
+	if d := nOff.pingDeadline(c); d != cfg.PingTimeout {
+		t.Fatalf("AdaptiveRTO=false deadline = %v, want %v", d, cfg.PingTimeout)
+	}
+}
+
+// TestKarnRuleSkipsRetransmittedRounds: only a pong matching the
+// outstanding seq of an un-retransmitted round yields an RTT sample.
+func TestKarnRuleSkipsRetransmittedRounds(t *testing.T) {
+	s := sim.New(1)
+	n := &Node{sim: s, cfg: FastTestConfig()}
+	n.cfg.fillDefaults()
+	c := &Connection{Peer: AddrFromString("peer"), types: map[ConnType]bool{}}
+
+	// Retransmitted round: the sample is ambiguous and must be skipped.
+	c.awaiting, c.pingRetry, c.pingSentAt = 7, 1, s.Now()
+	s.RunFor(100 * sim.Millisecond)
+	n.handlePong(c, pongMsg{From: c.Peer, Seq: 7, Load: 2})
+	if c.haveRTT {
+		t.Fatal("Karn violated: retransmitted round sampled")
+	}
+	if c.peerLoad != 2 || !c.loadKnown {
+		t.Fatalf("pong load not recorded: load=%d known=%v", c.peerLoad, c.loadKnown)
+	}
+
+	// Stale seq: not the outstanding round.
+	c.awaiting, c.pingRetry, c.pingSentAt = 9, 0, s.Now()
+	n.handlePong(c, pongMsg{From: c.Peer, Seq: 7})
+	if c.haveRTT {
+		t.Fatal("stale pong sampled")
+	}
+
+	// Clean round: sampled, and touch() resets the round state.
+	c.awaiting, c.pingRetry, c.pingSentAt = 11, 0, s.Now()
+	s.RunFor(30 * sim.Millisecond)
+	n.handlePong(c, pongMsg{From: c.Peer, Seq: 11})
+	if srtt, _, ok := c.RTT(); !ok || srtt != 30*sim.Millisecond {
+		t.Fatalf("clean round: srtt=%v ok=%v, want 30ms", srtt, ok)
+	}
+	if c.awaiting != 0 || c.pingRetry != 0 {
+		t.Fatal("pong did not reset the ping round")
+	}
+}
+
+// TestFastProbeFalseSuspicion: a live peer under a fast probe answers, the
+// connection survives, and the verdict is counted as a false suspicion.
+func TestFastProbeFalseSuspicion(t *testing.T) {
+	r := buildRing(t, 21, 4)
+	n := r.nodes[0]
+	var c *Connection
+	for _, cand := range n.Connections() {
+		if cand.awaiting == 0 && !cand.Tunneled() {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no idle connection to probe")
+	}
+	n.fastProbe(c)
+	if !c.suspected {
+		t.Fatal("fast probe did not mark the connection suspected")
+	}
+	r.s.RunFor(sim.Second)
+	if n.ConnectionTo(c.Peer) == nil {
+		t.Fatal("live peer dropped by fast probe")
+	}
+	if c.suspected {
+		t.Fatal("pong did not clear the suspicion")
+	}
+	if n.Stats.Get("liveness.false_suspect") != 1 {
+		t.Fatalf("false_suspect = %d, want 1", n.Stats.Get("liveness.false_suspect"))
+	}
+	if n.Stats.Get("liveness.suspect_confirmed") != 0 {
+		t.Fatal("false suspicion also counted as confirmed")
+	}
+}
+
+// TestCrashConfirmsSuspicion: a fast probe against a truly dead peer ends
+// in suspect_confirmed — the counterpart verdict to false_suspect — and a
+// full crash never produces false suspicions anywhere in the ring.
+func TestCrashConfirmsSuspicion(t *testing.T) {
+	r := buildRing(t, 22, 8)
+	victim := r.nodes[3]
+	witness := r.nodes[4]
+	c := witness.ConnectionTo(victim.Addr())
+	if c == nil {
+		t.Fatal("witness not linked to victim")
+	}
+	victim.Stop()
+	// Deliver the death verdict by hand (the forwarded suspectMsg path);
+	// the probe must escalate to a confirmed timeout.
+	witness.handleSuspect(suspectMsg{From: r.nodes[2].Addr(), Dead: victim.Addr()})
+	if !c.suspected {
+		t.Fatal("fast probe did not mark the dead peer suspected")
+	}
+	r.s.RunFor(5 * sim.Minute)
+	if witness.Stats.Get("liveness.suspect_confirmed") != 1 {
+		t.Fatalf("suspect_confirmed = %d, want 1", witness.Stats.Get("liveness.suspect_confirmed"))
+	}
+	falsePos := int64(0)
+	for _, n := range r.nodes {
+		if n == victim {
+			continue
+		}
+		falsePos += n.Stats.Get("liveness.false_suspect")
+		if n.ConnectionTo(victim.Addr()) != nil {
+			t.Fatalf("node %s still linked to dead victim", n.Addr())
+		}
+	}
+	if falsePos != 0 {
+		t.Fatalf("crash produced %d false suspicions", falsePos)
+	}
+}
+
+// TestAdaptiveDetectsFaster: on a clean low-RTT network the adaptive
+// detector declares a crashed peer dead sooner than the fixed-timeout
+// detector under the identical seed and schedule.
+func TestAdaptiveDetectsFaster(t *testing.T) {
+	detect := func(adaptive bool) sim.Duration {
+		r := newOverlayRig(23)
+		cfg := FastTestConfig()
+		cfg.AdaptiveRTO = adaptive
+		for i := 0; i < 6; i++ {
+			r.addPublic(t, nodeName(i), cfg)
+			r.s.RunFor(2 * sim.Second)
+		}
+		r.s.RunFor(2 * sim.Minute) // settle; estimators converge
+		victim := r.nodes[2]
+		victim.Stop()
+		start := r.s.Now()
+		for step := 0; step < 600; step++ {
+			r.s.RunFor(sim.Second)
+			gone := true
+			for _, n := range r.nodes {
+				if n != victim && n.ConnectionTo(victim.Addr()) != nil {
+					gone = false
+					break
+				}
+			}
+			if gone {
+				return r.s.Now().Sub(start)
+			}
+		}
+		t.Fatal("victim never fully detected")
+		return 0
+	}
+	fixed := detect(false)
+	adaptive := detect(true)
+	if adaptive >= fixed {
+		t.Fatalf("adaptive detection (%v) not faster than fixed (%v)", adaptive, fixed)
+	}
+}
+
+// TestBestRelayScoringHysteresisFailover exercises the relay ranking
+// machinery directly on a constructed node.
+func TestBestRelayScoringHysteresisFailover(t *testing.T) {
+	cfg := FastTestConfig()
+	cfg.fillDefaults()
+	n := &Node{cfg: cfg, conns: map[Addr]*Connection{}}
+	mkRelay := func(name string, srttMs int, load int) *Connection {
+		rc := &Connection{Peer: AddrFromString(name), types: map[ConnType]bool{StructuredNear: true}}
+		if srttMs > 0 {
+			rc.observeRTT(sim.Duration(srttMs) * sim.Millisecond)
+		}
+		rc.peerLoad = load
+		n.conns[rc.Peer] = rc
+		return rc
+	}
+	fast := mkRelay("fast", 10, 0)
+	slow := mkRelay("slow", 400, 0)
+	tun := &Connection{Peer: AddrFromString("tun"), Relays: []Addr{fast.Peer, slow.Peer}, types: map[ConnType]bool{}}
+	sort2 := func() { // c.Relays arrives sorted in production
+		if tun.Relays[1].Less(tun.Relays[0]) {
+			tun.Relays[0], tun.Relays[1] = tun.Relays[1], tun.Relays[0]
+		}
+	}
+	sort2()
+
+	// Fresh edge: lowest score wins outright.
+	if got := n.bestRelay(tun); got != fast {
+		t.Fatalf("bestRelay picked %v, want fast", got.Peer)
+	}
+	if tun.activeRelay != fast.Peer {
+		t.Fatal("activeRelay not anchored")
+	}
+
+	// Load pushes the fast relay's score past the slow one (default
+	// penalty 25ms/pair: 10ms + 20·25ms = 510ms vs 400ms), beating the
+	// 50ms hysteresis → switch, counted.
+	fast.peerLoad = 20
+	if got := n.bestRelay(tun); got != slow {
+		t.Fatalf("loaded relay kept the edge; got %v", got.Peer)
+	}
+	if n.Stats.Get("tunnel.relay_switched") != 1 {
+		t.Fatalf("relay_switched = %d, want 1", n.Stats.Get("tunnel.relay_switched"))
+	}
+
+	// A challenger within the hysteresis margin does NOT displace the
+	// active relay (fast at 435ms vs active slow at 400ms: worse anyway;
+	// make fast barely better instead: load 15 → 385ms, within 50ms).
+	fast.peerLoad = 15
+	if got := n.bestRelay(tun); got != slow {
+		t.Fatalf("hysteresis failed to hold the active relay; got %v", got.Peer)
+	}
+	if n.Stats.Get("tunnel.relay_switched") != 1 {
+		t.Fatal("within-margin challenger counted as a switch")
+	}
+
+	// The active relay dying fails over instantly to the survivor.
+	delete(n.conns, slow.Peer)
+	if got := n.bestRelay(tun); got != fast {
+		t.Fatalf("failover picked %v, want fast", got)
+	}
+	if n.Stats.Get("tunnel.relay_failover") != 1 {
+		t.Fatalf("relay_failover = %d, want 1", n.Stats.Get("tunnel.relay_failover"))
+	}
+
+	// No live relays at all.
+	delete(n.conns, fast.Peer)
+	if got := n.bestRelay(tun); got != nil {
+		t.Fatalf("bestRelay with no relays = %v, want nil", got)
+	}
+}
+
+// TestRelayScoreDefaults: before any RTT sample the score falls back to
+// PingTimeout, so an unmeasured relay never beats a measured fast one but
+// ties (and address order) preserve the old first-live-wins behavior.
+func TestRelayScoreDefaults(t *testing.T) {
+	cfg := FastTestConfig()
+	cfg.fillDefaults()
+	n := &Node{cfg: cfg, conns: map[Addr]*Connection{}}
+	unmeasured := &Connection{Peer: AddrFromString("x"), types: map[ConnType]bool{}}
+	if got := n.relayScore(unmeasured); got != cfg.PingTimeout {
+		t.Fatalf("unmeasured score = %v, want PingTimeout %v", got, cfg.PingTimeout)
+	}
+	measured := &Connection{Peer: AddrFromString("y"), types: map[ConnType]bool{}}
+	measured.observeRTT(20 * sim.Millisecond)
+	if n.relayScore(measured) >= n.relayScore(unmeasured) {
+		t.Fatal("measured fast relay does not outrank unmeasured one")
+	}
+	measured.peerLoad = 3
+	want := 20*sim.Millisecond + 3*cfg.RelayLoadPenalty
+	if got := n.relayScore(measured); got != want {
+		t.Fatalf("loaded score = %v, want %v", got, want)
+	}
+}

@@ -95,10 +95,14 @@ type pingMsg struct {
 	Seq  uint64
 }
 
-// pongMsg answers a ping.
+// pongMsg answers a ping. Load piggybacks the responder's current relay
+// load (tunnel pairs it is carrying frames for), so every keepalive round
+// refreshes the liveness estimator's RTT sample and the relay scorer's
+// load view at once.
 type pongMsg struct {
 	From Addr
 	Seq  uint64
+	Load int
 }
 
 // closeMsg announces graceful connection teardown.
@@ -134,10 +138,14 @@ type statusMsg struct {
 	Neighbors []NeighborInfo
 }
 
-// NeighborInfo names one ring neighbor and how to reach it.
+// NeighborInfo names one ring neighbor and how to reach it. Load, carried
+// only in CTM relay-candidate lists, is the advertiser's last view of that
+// neighbor's relay load — it seeds load-aware tunnel-relay selection
+// before the selector has heard a pong from the relay itself.
 type NeighborInfo struct {
 	Addr Addr
 	URIs []URI
+	Load int
 }
 
 // DeliveryMode selects how an overlay packet terminates (§IV-A: "the

@@ -2,6 +2,8 @@ package brunet
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 
 	"wow/internal/metrics"
 	"wow/internal/phys"
@@ -37,6 +39,38 @@ type Config struct {
 	PingInterval sim.Duration
 	PingTimeout  sim.Duration
 	PingRetries  int
+
+	// AdaptiveRTO switches the ping deadline from the fixed PingTimeout
+	// to the per-connection estimate srtt + RTOK·rttvar (Jacobson/Karn),
+	// clamped to [RTOMin, RTOMax]. The estimators run either way — only
+	// the deadline derivation is gated — so flipping the knob mid-run
+	// takes effect with whatever samples the connection already has.
+	AdaptiveRTO bool
+	// RTOK is the rttvar multiplier k in the adaptive deadline.
+	RTOK int
+	// RTOMin / RTOMax clamp the adaptive deadline: the floor guards
+	// against suspicion storms on very fast links, the ceiling bounds
+	// detection latency on very jittery ones.
+	RTOMin sim.Duration
+	RTOMax sim.Duration
+
+	// RelayLoadPenalty converts a tunnel relay's advertised load (tunnel
+	// pairs currently carried, piggybacked on pongs and CTM NeighborInfo)
+	// into score time: score = srtt + load·RelayLoadPenalty. Relay
+	// selection prefers the lowest score.
+	RelayLoadPenalty sim.Duration
+	// RelayHysteresis is how much better a challenger relay's score must
+	// be before a tunnel edge re-points away from a live active relay —
+	// flapping links don't thrash re-selection. Failover away from a
+	// dead relay is always instant.
+	RelayHysteresis sim.Duration
+
+	// JitterSeed, when non-zero, gives the node a private protocol-jitter
+	// RNG seeded JitterSeed^hash(addr) instead of drawing from the shared
+	// simulator RNG. Per-node draws make the protocol's jitter sequence a
+	// function of the node alone, so a run's outcome is identical across
+	// serial and sharded engines and across shard counts.
+	JitterSeed int64
 
 	// LinkResend is the initial link-request resend interval;
 	// LinkBackoff multiplies it on every retry; after LinkRetries
@@ -130,6 +164,12 @@ func DefaultConfig() Config {
 		RelinkBase:     10 * sim.Second,
 		RelinkRetries:  5,
 
+		RTOK:             4,
+		RTOMin:           500 * sim.Millisecond,
+		RTOMax:           20 * sim.Second,
+		RelayLoadPenalty: 25 * sim.Millisecond,
+		RelayHysteresis:  50 * sim.Millisecond,
+
 		TunnelUpgradeInterval: 60 * sim.Second,
 		TunnelMaxRelays:       4,
 
@@ -194,6 +234,11 @@ func (c *Config) fillDefaults() {
 	c.SuspectRetries = defaulted(c.SuspectRetries, d.SuspectRetries)
 	c.RelinkBase = defaulted(c.RelinkBase, d.RelinkBase)
 	c.RelinkRetries = defaulted(c.RelinkRetries, d.RelinkRetries)
+	c.RTOK = defaulted(c.RTOK, d.RTOK)
+	c.RTOMin = defaulted(c.RTOMin, d.RTOMin)
+	c.RTOMax = defaulted(c.RTOMax, d.RTOMax)
+	c.RelayLoadPenalty = defaulted(c.RelayLoadPenalty, d.RelayLoadPenalty)
+	c.RelayHysteresis = defaulted(c.RelayHysteresis, d.RelayHysteresis)
 	c.TunnelUpgradeInterval = defaulted(c.TunnelUpgradeInterval, d.TunnelUpgradeInterval)
 	c.TunnelMaxRelays = defaulted(c.TunnelMaxRelays, d.TunnelMaxRelays)
 	if c.Transport == "" {
@@ -233,6 +278,14 @@ type Node struct {
 	tokenSeq uint64
 	pingSeq  uint64
 	tickers  []*sim.Ticker
+
+	// rng is the node-private protocol-jitter source (Config.JitterSeed);
+	// nil means draw from the shared simulator RNG as before.
+	rng *rand.Rand
+	// relayed tracks the tunnel pairs this node has recently carried
+	// frames for, keyed by normalized (From,To); its fresh-entry count is
+	// the relay load advertised in pongs and CTM NeighborInfo.
+	relayed map[relayPair]sim.Time
 
 	// Stats counts protocol events (link attempts, routed packets,
 	// shortcut formations, …).
@@ -294,6 +347,11 @@ func NewNode(host *phys.Host, addr Addr, cfg Config) *Node {
 		handlers:  make(map[string]func(src Addr, d AppData)),
 	}
 	n.ring.reset(addr)
+	if cfg.JitterSeed != 0 {
+		h := fnv.New64a()
+		h.Write(addr[:])
+		n.rng = rand.New(rand.NewSource(cfg.JitterSeed ^ int64(h.Sum64())))
+	}
 	n.statForwarded = n.Stats.Handle("route.forwarded")
 	n.statDelivered = n.Stats.Handle("route.delivered")
 	n.statHopsExceeded = n.Stats.Handle("route.hops_exceeded")
@@ -301,6 +359,59 @@ func NewNode(host *phys.Host, addr Addr, cfg Config) *Node {
 	n.statNoProto = n.Stats.Handle("recv.noproto")
 	n.statUnknownOverlay = n.Stats.Handle("recv.unknown_overlay")
 	return n
+}
+
+// rand returns the node's protocol-jitter source: the private per-node
+// RNG when Config.JitterSeed is set, the shared simulator RNG otherwise.
+func (n *Node) rand() *rand.Rand {
+	if n.rng != nil {
+		return n.rng
+	}
+	return n.sim.Rand()
+}
+
+// tick starts a protocol ticker whose interval jitter draws from the
+// node's own jitter source (see Config.JitterSeed).
+func (n *Node) tick(interval, jitter sim.Duration, fn func()) *sim.Ticker {
+	return n.sim.TickRand(interval, jitter, n.rng, fn)
+}
+
+// relayPair is a normalized (lower, higher) tunnel-endpoint pair.
+type relayPair struct{ a, b Addr }
+
+// noteRelayed records that this node just carried a tunnel frame for the
+// pair (x, y); the pair counts toward the node's advertised relay load
+// until its entry goes stale.
+func (n *Node) noteRelayed(x, y Addr) {
+	if y.Less(x) {
+		x, y = y, x
+	}
+	if n.relayed == nil {
+		n.relayed = make(map[relayPair]sim.Time)
+	}
+	n.relayed[relayPair{x, y}] = n.sim.Now()
+}
+
+// relayLoad counts the tunnel pairs this node is currently carrying:
+// entries refreshed within two keepalive intervals (an active tunnel's
+// pings traverse its relay at least once per PingInterval). Stale entries
+// are pruned in passing; only the count leaves this function, so map
+// iteration order cannot leak into behavior.
+func (n *Node) relayLoad() int {
+	if len(n.relayed) == 0 {
+		return 0
+	}
+	horizon := 2 * n.cfg.PingInterval
+	now := n.sim.Now()
+	count := 0
+	for k, at := range n.relayed {
+		if now.Sub(at) > horizon {
+			delete(n.relayed, k)
+			continue
+		}
+		count++
+	}
+	return count
 }
 
 // Addr returns the node's 160-bit overlay address.
@@ -469,6 +580,7 @@ func (n *Node) Stop() {
 	}
 	n.near, n.far, n.sco, n.repair, n.tun = nil, nil, nil, nil, nil
 	n.learned = uriSet{}
+	n.relayed = nil
 }
 
 // Leave gracefully departs. Structured-near neighbors get a handoff
@@ -634,10 +746,10 @@ func (n *Node) handleWire(w wire, payload any) {
 			c.EP = w.ep
 			n.Stats.Inc("conn.ep_roamed", 1)
 		}
-		n.replyTo(w, pingMsgSize, pongMsg{From: n.addr, Seq: m.Seq})
+		n.replyTo(w, pingMsgSize, pongMsg{From: n.addr, Seq: m.Seq, Load: n.relayLoad()})
 	case pongMsg:
 		if c, ok := n.conns[m.From]; ok {
-			n.touch(c)
+			n.handlePong(c, m)
 		}
 	case closeMsg:
 		if c, ok := n.conns[m.From]; ok {
@@ -781,7 +893,7 @@ func (n *Node) relayCandidates() []NeighborInfo {
 		if c.Tunneled() || c.closed {
 			continue
 		}
-		out = append(out, NeighborInfo{Addr: c.Peer, URIs: c.URIs})
+		out = append(out, NeighborInfo{Addr: c.Peer, URIs: c.URIs, Load: c.peerLoad})
 		if len(out) >= max {
 			break
 		}
@@ -983,6 +1095,7 @@ func (n *Node) handleTunnelFrame(w wire, f tunnelFrame) {
 		// direct-link upgrade path.
 		f.Observed = URIEndpoint{URI: URI{Transport: w.transport(), EP: w.observed()}}
 		n.Stats.Inc("tunnel.relayed", 1)
+		n.noteRelayed(f.From, f.To)
 		n.sendConn(c, tunnelHdrSize+f.Size, f)
 		return
 	}

@@ -24,7 +24,7 @@ func (o *nearOverlord) start() {
 	n.OnConnection(o.onConnection)
 	n.OnDisconnection(o.onDisconnection)
 	o.maintain()
-	t := n.sim.Tick(n.cfg.StatusInterval, n.cfg.StatusInterval/5, o.maintain)
+	t := n.tick(n.cfg.StatusInterval, n.cfg.StatusInterval/5, o.maintain)
 	n.tickers = append(n.tickers, t)
 }
 
@@ -43,7 +43,7 @@ func (o *nearOverlord) maintain() {
 		// Try a bootstrap URI; rotate through the list across
 		// attempts via the RNG so a dead bootstrap node doesn't
 		// wedge the join.
-		uri := n.bootstrap[n.sim.Rand().Intn(len(n.bootstrap))]
+		uri := n.bootstrap[n.rand().Intn(len(n.bootstrap))]
 		n.startLinker(Zero, []URI{uri}, Leaf)
 		return
 	}
@@ -192,7 +192,7 @@ func newFarOverlord(n *Node) *farOverlord { return &farOverlord{node: n} }
 
 func (o *farOverlord) start() {
 	n := o.node
-	t := n.sim.Tick(n.cfg.FarInterval, n.cfg.FarInterval/5, o.maintain)
+	t := n.tick(n.cfg.FarInterval, n.cfg.FarInterval/5, o.maintain)
 	n.tickers = append(n.tickers, t)
 }
 
@@ -206,7 +206,7 @@ func (o *farOverlord) maintain() {
 		// The paper leaves the random-address logic out of scope
 		// (footnote 1); we use the harmonic (Kleinberg) offset its
 		// reference [37] analyses.
-		target := n.addr.Offset(KleinbergOffset(n.sim.Rand()))
+		target := n.addr.Offset(KleinbergOffset(n.rand()))
 		n.sendCTM(target, StructuredFar, DeliverNearest, Zero)
 	}
 }
@@ -239,7 +239,7 @@ func newShortcutOverlord(n *Node, cfg ShortcutConfig) *shortcutOverlord {
 
 func (o *shortcutOverlord) start() {
 	n := o.node
-	t := n.sim.Tick(o.cfg.Tick, o.cfg.Tick/10, o.tick)
+	t := n.tick(o.cfg.Tick, o.cfg.Tick/10, o.tick)
 	n.tickers = append(n.tickers, t)
 }
 

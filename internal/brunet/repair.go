@@ -93,7 +93,7 @@ func (o *repairOverlord) schedule(peer Addr, st *relinkState) {
 		shift = 6
 	}
 	d := n.cfg.RelinkBase<<shift +
-		sim.Duration(n.sim.Rand().Int63n(int64(n.cfg.RelinkBase)))
+		sim.Duration(n.rand().Int63n(int64(n.cfg.RelinkBase)))
 	st.ev = n.sim.After(d, func() { o.fire(peer, st) })
 }
 

@@ -1,6 +1,10 @@
 package brunet
 
-import "wow/internal/sim"
+import (
+	"sort"
+
+	"wow/internal/sim"
+)
 
 // tunnelOverlord manages tunnel edges — Brunet's fallback for peer pairs
 // whose NATs defeat hole punching (symmetric↔symmetric and
@@ -102,6 +106,11 @@ func (o *tunnelOverlord) learnCandidates(peer Addr, uris []URI, relays []Neighbo
 			continue
 		}
 		if rc, live := n.conns[adv.Addr]; live && !rc.closed && !rc.Tunneled() {
+			if !rc.loadKnown {
+				// Seed the relay scorer with the advertised load until
+				// the relay's own pongs speak for it.
+				rc.peerLoad = adv.Load
+			}
 			c.addRelay(adv.Addr)
 		}
 	}
@@ -152,19 +161,29 @@ func (o *tunnelOverlord) establish(target Addr) {
 		n.Stats.Inc("tunnel.nocandidate", 1)
 		return
 	}
-	var mutual []Addr
+	var candidates []NeighborInfo
 	for _, adv := range st.relays {
 		if adv.Addr == n.addr || adv.Addr == target {
 			continue
 		}
 		if rc, live := n.conns[adv.Addr]; live && !rc.closed && !rc.Tunneled() {
-			mutual = append(mutual, adv.Addr)
-			if len(mutual) >= n.cfg.TunnelMaxRelays {
-				break
-			}
+			candidates = append(candidates, adv)
 		}
 	}
-	if len(mutual) > 0 {
+	// Load-aware selection: lightly loaded relays first, ties in the
+	// advertiser's (address) order, capped after sorting so an overloaded
+	// early candidate doesn't crowd out idle later ones.
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return candidates[i].Load < candidates[j].Load
+	})
+	if len(candidates) > n.cfg.TunnelMaxRelays {
+		candidates = candidates[:n.cfg.TunnelMaxRelays]
+	}
+	if len(candidates) > 0 {
+		mutual := make([]Addr, len(candidates))
+		for i, adv := range candidates {
+			mutual[i] = adv.Addr
+		}
 		n.Stats.Inc("tunnel.attempts", 1)
 		n.startTunnelLinker(target, mutual, st.uris, StructuredNear)
 		return

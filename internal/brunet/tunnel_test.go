@@ -129,7 +129,7 @@ func TestTunnelRelayFailover(t *testing.T) {
 		t.Fatal("no tunneled near connection to test")
 	}
 	peer := c.Peer
-	rc := n.liveRelay(c)
+	rc := n.bestRelay(c)
 	if rc == nil {
 		t.Fatal("tunneled conn has no live relay")
 	}

@@ -51,7 +51,7 @@ const goldenPartitionHealSeed5 = "Partition repair: 180 s site cut (NWU + half o
 
 const goldenSymRingSeed5 = "All-symmetric-NAT ring: 20 NATed + 3 public routers, seed 5\n" +
 	"  routable: 100.0%; ring: 0 missing near links (6 direct, 19 tunneled)\n" +
-	"  tunnels: 163 established, 18 upgraded; relays: 71 lost, 6 reselected\n" +
+	"  tunnels: 157 established, 18 upgraded; relays: 52 lost, 4 reselected\n" +
 	"  vip ping (sym ws <-> sym ws): 4/4\n" +
 	"  migration to public host: vip outage 26.4 s\n"
 

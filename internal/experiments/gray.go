@@ -1,0 +1,500 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"wow/internal/brunet"
+	"wow/internal/faults"
+	"wow/internal/phys"
+	"wow/internal/sim"
+)
+
+// This file is the gray-failure survivability harness: a router-only
+// overlay whose first quarter of sites degrades — sustained latency
+// variance (JitterBurst) plus a duty-cycled uplink (LinkFlap) — while
+// clean-site nodes are crashed outright. The harness runs the same
+// scenario under the fixed-timeout and the adaptive (Jacobson/Karn)
+// failure detectors and scores them against each other: detection latency
+// for the real crashes, false suspicions on the merely-degraded links, and
+// end-state routability. Everything is deterministic in (Seed, Shards) and
+// worker-invariant; the time-functional gray faults and the node-local
+// protocol RNG (Config.JitterSeed) make serial and sharded runs agree.
+
+// GrayOpts parameterizes RunGrayFailures. Zero fields take the defaults in
+// fillDefaults.
+type GrayOpts struct {
+	Seed int64
+	// Nodes is the overlay size (bare Brunet routers, no NAT/IPOP layers —
+	// the detector and relay machinery under test lives in the overlay).
+	Nodes int
+	// Sites spreads hosts round-robin; the first quarter of sites is the
+	// gray zone, the last site is the clean crash site.
+	Sites int
+	// Adaptive selects the detector: false = fixed PingTimeout deadlines,
+	// true = srtt + RTOK·rttvar clamped to [RTOMin, RTOMax].
+	Adaptive bool
+	// Windows and WindowLen shape the measurement phase: the gray faults
+	// stay armed for Windows·WindowLen and one series sample is taken per
+	// window.
+	Windows   int
+	WindowLen sim.Duration
+	// Settle is the convergence time before faults arm.
+	Settle sim.Duration
+	// Kills is how many clean-site nodes are crashed (ungracefully)
+	// during the fault phase, one per window starting at window 1.
+	Kills int
+	// WANLatency is the one-way inter-site delay (also the sharded
+	// engine's lookahead floor).
+	WANLatency sim.Duration
+	// JitterAmp is the gray zone's mean added one-way delay; per-packet
+	// the added delay is uniform in [0, 2·JitterAmp).
+	JitterAmp sim.Duration
+	// FlapPeriod/FlapUp duty-cycle the gray zone's uplink: up for FlapUp
+	// out of every FlapPeriod, dead for the remainder.
+	FlapPeriod sim.Duration
+	FlapUp     sim.Duration
+
+	// Shards runs the simulation on a sim.Sharded engine with this many
+	// shards; 0 keeps the classic serial event queue.
+	Shards int
+	// Workers bounds the sharded engine's goroutines; results never
+	// depend on it.
+	Workers int
+	// OnProgress, when set, observes every window sample as it is taken.
+	OnProgress func(GrayPoint)
+}
+
+func (o *GrayOpts) fillDefaults() {
+	if o.Nodes == 0 {
+		o.Nodes = 32
+	}
+	if o.Sites == 0 {
+		o.Sites = 8
+	}
+	if o.Windows == 0 {
+		o.Windows = 8
+	}
+	if o.WindowLen == 0 {
+		o.WindowLen = 30 * sim.Second
+	}
+	if o.Settle == 0 {
+		o.Settle = 3 * sim.Minute
+	}
+	if o.Kills == 0 {
+		o.Kills = 3
+	}
+	if o.WANLatency == 0 {
+		o.WANLatency = 40 * sim.Millisecond
+	}
+	if o.JitterAmp == 0 {
+		o.JitterAmp = 2 * sim.Second
+	}
+	if o.FlapPeriod == 0 {
+		o.FlapPeriod = 25 * sim.Second
+	}
+	if o.FlapUp == 0 {
+		o.FlapUp = 19 * sim.Second
+	}
+	if o.Shards > 1 {
+		if o.Workers == 0 {
+			o.Workers = runtime.GOMAXPROCS(0)
+		}
+		if o.Workers > o.Shards {
+			o.Workers = o.Shards
+		}
+	}
+}
+
+// grayConfig is the protocol schedule both detectors share: FastTestConfig
+// link/repair constants (paper-default relinking would outlast the run)
+// with shortcuts off and the node-local jitter RNG armed — the latter is
+// what makes the run's outcome independent of engine sharding.
+func grayConfig(seed int64, adaptive bool) brunet.Config {
+	cfg := brunet.FastTestConfig()
+	cfg.Shortcut = nil
+	cfg.JitterSeed = seed*2 + 1
+	cfg.AdaptiveRTO = adaptive
+	return cfg
+}
+
+// GrayPoint is one per-window sample of a gray-failure run. The suspicion
+// and death fields are deltas over the window; MeanDetectMs is the mean
+// liveness.detect_ms of the window's death verdicts (0 when none).
+type GrayPoint struct {
+	Detector   string // "fixed" or "adaptive"
+	Window     int
+	VirtualSec float64
+	WallSec    float64
+	// RoutableFrac is the live-node routability at the window boundary
+	// (crashed nodes excluded).
+	RoutableFrac float64
+	// FalseSuspects counts wrongly escalated liveness verdicts this
+	// window: premature ping timeouts plus fast-probe suspicions cleared
+	// by later traffic.
+	FalseSuspects int64
+	// Confirmed counts forwarded suspicions that ended in a death verdict.
+	Confirmed int64
+	// Deaths counts ping-timeout death verdicts.
+	Deaths int64
+	// MeanDetectMs is the mean silence time (ms) behind this window's
+	// death verdicts.
+	MeanDetectMs float64
+	Events       uint64
+}
+
+// GrayKill records one scheduled crash and how long the overlay took to
+// fully forget the victim (every surviving node's connection dropped).
+type GrayKill struct {
+	Node      string
+	AtSec     float64
+	DetectSec float64
+}
+
+// GrayResult summarizes one detector's gray-failure run.
+type GrayResult struct {
+	Seed     int64
+	Detector string
+	Adaptive bool
+	Nodes    int
+	Sites    int
+	Windows  int
+	Kills    []GrayKill
+
+	// FinalRoutable is the surviving fleet's routability after cool-down.
+	FinalRoutable float64
+	// MeanDetectSec is the mean crash-to-forgotten latency over Kills.
+	MeanDetectSec float64
+	// FalseSuspects / Confirmed / Deaths are fleet totals over the fault
+	// phase.
+	FalseSuspects int64
+	Confirmed     int64
+	Deaths        int64
+	EventsTotal   uint64
+	WallSec       float64
+	Timeline      string
+
+	Shards  int `json:",omitempty"`
+	Workers int `json:",omitempty"`
+	Series  []GrayPoint
+}
+
+// String renders the run summary.
+func (r *GrayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gray failures: %d nodes / %d sites, %s detector, seed %d\n",
+		r.Nodes, r.Sites, r.Detector, r.Seed)
+	if r.Shards > 0 {
+		fmt.Fprintf(&b, "  parallel: %d shards x %d workers\n", r.Shards, r.Workers)
+	}
+	fmt.Fprintf(&b, "  crashes: %d, mean detection %.1f s\n", len(r.Kills), r.MeanDetectSec)
+	fmt.Fprintf(&b, "  false suspicions: %d (confirmed: %d, deaths: %d)\n",
+		r.FalseSuspects, r.Confirmed, r.Deaths)
+	fmt.Fprintf(&b, "  final routability: %.1f%%\n", r.FinalRoutable*100)
+	return b.String()
+}
+
+// grayCounters reads the fleet-wide liveness counters.
+type grayCounters struct {
+	falseSuspects int64 // premature_timeout + false_suspect
+	confirmed     int64
+	deaths        int64
+	detectMs      int64
+}
+
+func readGrayCounters(nodes []*brunet.Node) grayCounters {
+	var c grayCounters
+	for _, n := range nodes {
+		c.falseSuspects += n.Stats.Get("liveness.premature_timeout") + n.Stats.Get("liveness.false_suspect")
+		c.confirmed += n.Stats.Get("liveness.suspect_confirmed")
+		c.deaths += n.Stats.Get("ping.dead")
+		c.detectMs += n.Stats.Get("liveness.detect_ms")
+	}
+	return c
+}
+
+// RunGrayFailures builds the overlay, degrades the gray zone for the whole
+// fault phase, crashes clean-site nodes, and samples the detector's
+// behavior per window. The run is deterministic in (Seed, Shards) and
+// identical across serial and sharded engines.
+func RunGrayFailures(opts GrayOpts) (*GrayResult, error) {
+	opts.fillDefaults()
+	if opts.Kills >= opts.Windows {
+		return nil, fmt.Errorf("gray: %d kills need at least %d windows", opts.Kills, opts.Kills+1)
+	}
+
+	// Stand up the fabric: serial or sharded, same latency model.
+	var (
+		s   *sim.Simulator
+		eng *sim.Sharded
+		net *phys.Network
+	)
+	latency := phys.UniformLatency(
+		phys.PathModel{OneWay: sim.Millisecond},
+		phys.PathModel{OneWay: opts.WANLatency},
+	)
+	if opts.Shards > 0 {
+		eng = sim.NewSharded(opts.Seed, opts.Shards, opts.Workers)
+		defer eng.Close()
+		net = phys.NewShardedNetwork(eng, latency)
+		s = net.Sim
+	} else {
+		s = sim.New(opts.Seed)
+		net = phys.NewNetwork(s, latency)
+	}
+	sites := make([]*phys.Site, opts.Sites)
+	for i := range sites {
+		sites[i] = net.AddSite(fmt.Sprintf("site%02d", i))
+	}
+	if eng != nil && eng.Shards() > 1 {
+		floor, ok := net.CrossShardFloor()
+		if !ok {
+			return nil, fmt.Errorf("gray: %d shards but no cross-shard site pair (need Sites >= Shards)", opts.Shards)
+		}
+		if floor <= 0 {
+			return nil, fmt.Errorf("gray: cross-shard latency floor %v must be positive", floor)
+		}
+		eng.SetLookahead(floor)
+	}
+	runUntil := func(t sim.Time) {
+		if eng != nil {
+			eng.RunUntil(t)
+		} else {
+			s.RunUntil(t)
+		}
+	}
+	eventsProcessed := func() uint64 {
+		if eng != nil {
+			return eng.Processed()
+		}
+		return s.Processed
+	}
+
+	// Create the fleet up front and schedule identical staggered starts on
+	// each node's own shard; boot URIs resolve at fire time.
+	cfg := grayConfig(opts.Seed, opts.Adaptive)
+	detector := "fixed"
+	if opts.Adaptive {
+		detector = "adaptive"
+	}
+	nodes := make([]*brunet.Node, opts.Nodes)
+	for i := range nodes {
+		name := fmt.Sprintf("gray%03d", i)
+		h := net.AddHost(name, sites[i%opts.Sites], net.Root(), phys.HostConfig{})
+		nodes[i] = brunet.NewNode(h, brunet.AddrFromString(name), cfg)
+	}
+	for i, n := range nodes {
+		i, n := i, n
+		at := sim.Time(0).Add(sim.Duration(i) * 200 * sim.Millisecond)
+		n.Host().Sim().At(at, func() {
+			var boot []brunet.URI
+			if pool := min(i, 4); pool > 0 {
+				boot = []brunet.URI{
+					nodes[i%pool].BootstrapURI(),
+					nodes[(i+1)%pool].BootstrapURI(),
+				}
+			}
+			if err := n.Start(boot); err != nil {
+				panic(fmt.Sprintf("gray: start %s: %v", n.Addr(), err))
+			}
+		})
+	}
+
+	t0 := time.Now()
+	cursor := sim.Time(0).Add(sim.Duration(opts.Nodes)*200*sim.Millisecond + opts.Settle)
+	runUntil(cursor)
+
+	// Arm the gray zone: jitter + flap over the first quarter of sites for
+	// the whole fault phase. Both are time-functional rules, installed
+	// before the fault phase runs — the shard-safe path.
+	inj := faults.New(s, net)
+	graySites := make([]string, 0, opts.Sites/4)
+	for i := 0; i < (opts.Sites+3)/4; i++ {
+		graySites = append(graySites, sites[i].Name)
+	}
+	phaseLen := sim.Duration(opts.Windows) * opts.WindowLen
+	inj.Schedule(
+		faults.JitterBurst{Scope: faults.AtSites(graySites...), Amp: opts.JitterAmp,
+			Start: 0, For: phaseLen, Seed: uint64(opts.Seed)},
+		faults.LinkFlap{A: faults.AtSites(graySites...), Period: opts.FlapPeriod,
+			Up: opts.FlapUp, Start: 0, For: phaseLen},
+	)
+
+	// Schedule the crashes: one clean-site victim per window, mid-window,
+	// starting at window 1 (window 0 measures the degraded-but-alive
+	// baseline). The Stop fires on the victim's own shard; the timeline
+	// mark is a separate same-instant event on the injector's timeline.
+	cleanSite := opts.Sites - 1
+	var victims []*brunet.Node
+	for i := cleanSite; i < opts.Nodes && len(victims) < opts.Kills; i += opts.Sites {
+		victims = append(victims, nodes[i])
+	}
+	if len(victims) < opts.Kills {
+		return nil, fmt.Errorf("gray: only %d clean-site victims for %d kills (need more Nodes)", len(victims), opts.Kills)
+	}
+	kills := make([]GrayKill, len(victims))
+	for i, v := range victims {
+		v := v
+		at := cursor.Add(sim.Duration(i+1)*opts.WindowLen + opts.WindowLen/2)
+		kills[i] = GrayKill{Node: v.Addr().String(), AtSec: at.Seconds(), DetectSec: -1}
+		v.Host().Sim().At(at, func() { v.Stop() })
+		s.At(at, func() { inj.Note("crash", v.Addr().String()) })
+	}
+	isVictim := make(map[*brunet.Node]bool, len(victims))
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	// forgotten reports whether every surviving node has dropped its
+	// connection to v.
+	forgotten := func(v *brunet.Node) bool {
+		for _, n := range nodes {
+			if !isVictim[n] && n.ConnectionTo(v.Addr()) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	routableFrac := func() float64 {
+		routable, live := 0, 0
+		for _, n := range nodes {
+			if isVictim[n] {
+				continue
+			}
+			live++
+			if n.IsRoutable() {
+				routable++
+			}
+		}
+		return float64(routable) / float64(live)
+	}
+
+	res := &GrayResult{
+		Seed:     opts.Seed,
+		Detector: detector,
+		Adaptive: opts.Adaptive,
+		Nodes:    opts.Nodes,
+		Sites:    opts.Sites,
+		Windows:  opts.Windows,
+		Kills:    kills,
+	}
+	if eng != nil {
+		res.Shards = eng.Shards()
+		res.Workers = eng.Workers()
+	}
+
+	// The fault phase: run each window in 1s steps (tracking when each
+	// victim is fully forgotten), sampling the fleet counters per window.
+	prev := readGrayCounters(nodes)
+	for w := 0; w < opts.Windows; w++ {
+		steps := int(opts.WindowLen / sim.Second)
+		for st := 0; st < steps; st++ {
+			cursor = cursor.Add(sim.Second)
+			runUntil(cursor)
+			for i := range kills {
+				if kills[i].DetectSec >= 0 || cursor.Seconds() <= kills[i].AtSec {
+					continue
+				}
+				if forgotten(victims[i]) {
+					kills[i].DetectSec = cursor.Seconds() - kills[i].AtSec
+				}
+			}
+		}
+		cur := readGrayCounters(nodes)
+		p := GrayPoint{
+			Detector:      detector,
+			Window:        w,
+			VirtualSec:    cursor.Seconds(),
+			WallSec:       time.Since(t0).Seconds(),
+			RoutableFrac:  routableFrac(),
+			FalseSuspects: cur.falseSuspects - prev.falseSuspects,
+			Confirmed:     cur.confirmed - prev.confirmed,
+			Deaths:        cur.deaths - prev.deaths,
+			Events:        eventsProcessed(),
+		}
+		if d := cur.deaths - prev.deaths; d > 0 {
+			p.MeanDetectMs = float64(cur.detectMs-prev.detectMs) / float64(d)
+		}
+		prev = cur
+		res.Series = append(res.Series, p)
+		if opts.OnProgress != nil {
+			opts.OnProgress(p)
+		}
+	}
+
+	// Cool down on a clean fabric (faults expired), keep resolving any
+	// still-pending detections, then audit the end state.
+	for st := 0; st < 90; st++ {
+		cursor = cursor.Add(sim.Second)
+		runUntil(cursor)
+		for i := range kills {
+			if kills[i].DetectSec < 0 && forgotten(victims[i]) {
+				kills[i].DetectSec = cursor.Seconds() - kills[i].AtSec
+			}
+		}
+	}
+	total := readGrayCounters(nodes)
+	res.FalseSuspects = total.falseSuspects
+	res.Confirmed = total.confirmed
+	res.Deaths = total.deaths
+	res.FinalRoutable = routableFrac()
+	res.EventsTotal = eventsProcessed()
+	res.Timeline = inj.TimelineString()
+	res.WallSec = time.Since(t0).Seconds()
+	detected := 0
+	for _, k := range kills {
+		if k.DetectSec >= 0 {
+			res.MeanDetectSec += k.DetectSec
+			detected++
+		}
+	}
+	if detected > 0 {
+		res.MeanDetectSec /= float64(detected)
+	}
+	inj.Close()
+	return res, nil
+}
+
+// GrayCompare pits the two detectors against the identical scenario.
+type GrayCompare struct {
+	Fixed    *GrayResult
+	Adaptive *GrayResult
+	// Dominates is the headline verdict: the adaptive detector found the
+	// real crashes faster AND raised fewer false suspicions AND both
+	// detectors ended fully routable.
+	Dominates bool
+}
+
+// String renders both summaries and the verdict.
+func (c *GrayCompare) String() string {
+	var b strings.Builder
+	b.WriteString(c.Fixed.String())
+	b.WriteString(c.Adaptive.String())
+	fmt.Fprintf(&b, "Verdict: adaptive detection %.1fs vs fixed %.1fs; false suspicions %d vs %d; dominates: %v\n",
+		c.Adaptive.MeanDetectSec, c.Fixed.MeanDetectSec,
+		c.Adaptive.FalseSuspects, c.Fixed.FalseSuspects, c.Dominates)
+	return b.String()
+}
+
+// RunGrayCompare runs the gray-failure scenario under both detectors on
+// the same seed and scores adaptive against fixed.
+func RunGrayCompare(opts GrayOpts) (*GrayCompare, error) {
+	opts.Adaptive = false
+	fixed, err := RunGrayFailures(opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Adaptive = true
+	adaptive, err := RunGrayFailures(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GrayCompare{
+		Fixed:    fixed,
+		Adaptive: adaptive,
+		Dominates: adaptive.MeanDetectSec < fixed.MeanDetectSec &&
+			adaptive.FalseSuspects < fixed.FalseSuspects &&
+			fixed.FinalRoutable == 1 && adaptive.FinalRoutable == 1,
+	}, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// graySeriesDigest renders the per-window series byte-exactly for golden
+// comparison.
+func graySeriesDigest(r *GrayResult) string {
+	var b strings.Builder
+	for _, p := range r.Series {
+		fmt.Fprintf(&b, "w%d routable=%.3f false=%d confirmed=%d deaths=%d detect=%.0fms events=%d\n",
+			p.Window, p.RoutableFrac, p.FalseSuspects, p.Confirmed, p.Deaths, p.MeanDetectMs, p.Events)
+	}
+	return b.String()
+}
+
+// TestGrayAdaptiveDominates is the headline acceptance run: under the
+// identical seed and fault schedule, the adaptive detector must strictly
+// dominate the fixed one — faster crash detection, fewer false suspicions
+// under sustained jitter + flap — with both ending fully routable.
+func TestGrayAdaptiveDominates(t *testing.T) {
+	cmp, err := RunGrayCompare(GrayOpts{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Dominates {
+		t.Fatalf("adaptive does not dominate fixed:\n%s", cmp)
+	}
+	for _, r := range []*GrayResult{cmp.Fixed, cmp.Adaptive} {
+		if r.FinalRoutable != 1 {
+			t.Errorf("%s detector ended %.1f%% routable, want 100%%", r.Detector, r.FinalRoutable*100)
+		}
+		if len(r.Series) != r.Windows {
+			t.Errorf("%s detector: %d series points, want %d", r.Detector, len(r.Series), r.Windows)
+		}
+		for _, k := range r.Kills {
+			if k.DetectSec < 0 {
+				t.Errorf("%s detector never fully forgot crashed %s", r.Detector, k.Node)
+			}
+		}
+		if r.Confirmed == 0 {
+			t.Errorf("%s detector confirmed no forwarded suspicions", r.Detector)
+		}
+	}
+	if cmp.Adaptive.MeanDetectSec >= cmp.Fixed.MeanDetectSec {
+		t.Errorf("adaptive detection %.1fs not below fixed %.1fs",
+			cmp.Adaptive.MeanDetectSec, cmp.Fixed.MeanDetectSec)
+	}
+	if cmp.Adaptive.FalseSuspects >= cmp.Fixed.FalseSuspects {
+		t.Errorf("adaptive false suspicions %d not below fixed %d",
+			cmp.Adaptive.FalseSuspects, cmp.Fixed.FalseSuspects)
+	}
+	if !strings.Contains(cmp.String(), "dominates: true") {
+		t.Errorf("verdict line missing:\n%s", cmp)
+	}
+}
+
+// Golden pins for the seed-5 adaptive run: the fault timeline and the
+// per-window series are byte-exact functions of the seed, so drift here
+// means a liveness or scheduling decision changed.
+const goldenGrayTimelineSeed5 = "t=186.400s jitter begin\n" +
+	"t=186.400s flap begin\n" +
+	"t=231.400s crash 55cd6c56\n" +
+	"t=261.400s crash ff24bc48\n" +
+	"t=291.400s crash 009bac2a\n" +
+	"t=426.400s jitter end\n" +
+	"t=426.400s flap end\n"
+
+const goldenGraySeriesSeed5 = "w0 routable=1.000 false=345 confirmed=45 deaths=86 detect=6029ms events=83983\n" +
+	"w1 routable=1.000 false=293 confirmed=33 deaths=69 detect=7557ms events=104198\n" +
+	"w2 routable=1.000 false=319 confirmed=20 deaths=43 detect=8063ms events=124637\n" +
+	"w3 routable=1.000 false=314 confirmed=15 deaths=59 detect=9687ms events=145489\n" +
+	"w4 routable=1.000 false=284 confirmed=19 deaths=43 detect=8892ms events=166153\n" +
+	"w5 routable=1.000 false=370 confirmed=17 deaths=54 detect=9566ms events=187208\n" +
+	"w6 routable=1.000 false=326 confirmed=20 deaths=50 detect=9532ms events=206677\n" +
+	"w7 routable=1.000 false=364 confirmed=20 deaths=51 detect=9491ms events=226566\n"
+
+const goldenGraySummarySeed5 = "Gray failures: 32 nodes / 8 sites, adaptive detector, seed 5\n" +
+	"  crashes: 3, mean detection 9.7 s\n" +
+	"  false suspicions: 2656 (confirmed: 189, deaths: 455)\n" +
+	"  final routability: 100.0%\n"
+
+func TestGoldenSeedGray(t *testing.T) {
+	r, err := RunGrayFailures(GrayOpts{Seed: 5, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timeline != goldenGrayTimelineSeed5 {
+		t.Errorf("gray seed-5 fault timeline drifted; %s",
+			diffLine(r.Timeline, goldenGrayTimelineSeed5))
+	}
+	if got := graySeriesDigest(r); got != goldenGraySeriesSeed5 {
+		t.Errorf("gray seed-5 series drifted; %s", diffLine(got, goldenGraySeriesSeed5))
+	}
+	if got := r.String(); got != goldenGraySummarySeed5 {
+		t.Errorf("gray seed-5 summary drifted; %s", diffLine(got, goldenGraySummarySeed5))
+	}
+}
+
+// grayOutcome strips the fields that legitimately vary between equivalent
+// runs (wall clocks, engine provenance), leaving the simulation-determined
+// outcome.
+func grayOutcome(r *GrayResult) GrayResult {
+	c := *r
+	c.WallSec = 0
+	c.Shards, c.Workers = 0, 0
+	c.Series = append([]GrayPoint(nil), r.Series...)
+	for i := range c.Series {
+		c.Series[i].WallSec = 0
+	}
+	return c
+}
+
+// TestQuickGrayShardedEquivalence follows the TestQuickShardedNATEquivalence
+// pattern at overlay scale: for arbitrary seeds, the serial engine and the
+// 1-shard parallel engine produce the identical run — every counter, every
+// series point, the total event count — and a multi-shard run is
+// worker-invariant down to event totals. (Across different shard counts
+// the engine's contract is determinism in (seed, shards), not trace
+// equality: cross-shard ties break on source-shard index, so each shard
+// count is its own reproducible execution.)
+func TestQuickGrayShardedEquivalence(t *testing.T) {
+	small := func(seed int64, shards, workers int) *GrayResult {
+		opts := GrayOpts{Seed: seed, Nodes: 16, Sites: 4, Windows: 3,
+			WindowLen: SettleSeconds(20), Settle: SettleSeconds(60), Kills: 2,
+			Shards: shards, Workers: workers}
+		r, err := RunGrayFailures(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	f := func(rawSeed uint8) bool {
+		seed := int64(rawSeed)%5 + 1
+		serial := grayOutcome(small(seed, 0, 0))
+		one := grayOutcome(small(seed, 1, 1))
+		if !reflect.DeepEqual(serial, one) {
+			t.Logf("seed %d: serial vs 1-shard:\nserial: %+v\n1shard: %+v", seed, serial, one)
+			return false
+		}
+		two1 := small(seed, 2, 1)
+		two2 := small(seed, 2, 2)
+		if two1.EventsTotal != two2.EventsTotal {
+			t.Logf("seed %d: worker-variant event totals: %d vs %d", seed, two1.EventsTotal, two2.EventsTotal)
+			return false
+		}
+		ka, kb := grayOutcome(two1), grayOutcome(two2)
+		if !reflect.DeepEqual(ka, kb) {
+			t.Logf("seed %d: worker-variant outcome:\n1 worker:  %+v\n2 workers: %+v", seed, ka, kb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrayShardedRun: the multi-shard run itself must satisfy the same
+// health bar as the serial one — full end routability, every crash
+// detected, a complete series.
+func TestGrayShardedRun(t *testing.T) {
+	r, err := RunGrayFailures(GrayOpts{Seed: 5, Adaptive: true, Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalRoutable != 1 {
+		t.Errorf("sharded run ended %.1f%% routable", r.FinalRoutable*100)
+	}
+	for _, k := range r.Kills {
+		if k.DetectSec < 0 {
+			t.Errorf("sharded run never forgot crashed %s", k.Node)
+		}
+	}
+	if r.Shards != 4 {
+		t.Errorf("result records %d shards, want 4", r.Shards)
+	}
+	if len(r.Series) != r.Windows {
+		t.Errorf("%d series points, want %d", len(r.Series), r.Windows)
+	}
+	if !strings.Contains(r.String(), "parallel: 4 shards") {
+		t.Errorf("String() missing parallel provenance:\n%s", r)
+	}
+}

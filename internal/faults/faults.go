@@ -22,31 +22,74 @@ import (
 // Injector owns the fault schedule for one network. It installs itself as
 // the network's Perturb hook; faults are armed with Schedule and fire on
 // the simulation clock.
+//
+// On a sharded network (phys.NewShardedNetwork), only the time-functional
+// gray faults (AsymmetricBlackhole, JitterBurst, LinkFlap, SlowNode) are
+// safe: they install their rules at arm time, before the engine runs, and
+// evaluate activation against each packet's sender-shard clock, so the
+// rules slice is never mutated while shards execute. The event-windowed
+// faults (LinkBlackhole, Partition, LossBurst, LatencyBurst) mutate the
+// rules slice from scheduled events and remain serial-engine-only.
 type Injector struct {
 	S   *sim.Simulator
 	Net *phys.Network
 
 	// Stats counts per-fault events uniformly as "<label>.<event>":
 	// begin/end for windowed wire faults, kill/restart for node faults,
-	// flush for NAT flushes, dropped per blackholed packet.
+	// flush for NAT flushes, dropped per blackholed packet. On a sharded
+	// network the per-packet counters land in per-shard counters instead
+	// (shard-local writes only); read the combined view with TotalStats.
 	Stats metrics.Counter
 
 	rules    []*rule
 	timeline []TimelineEntry
+	// statsSh receives the per-packet perturb counters, indexed by the
+	// sending host's shard. Serially it is a single entry aliasing Stats.
+	statsSh []*metrics.Counter
+	sh      *metrics.Sharded
+	// closed makes every already-scheduled fault event a no-op: Close
+	// must fully detach the injector even though simulator events cannot
+	// be unscheduled retroactively.
+	closed bool
 }
 
 // New creates an injector and installs it as net's Perturb hook.
 func New(s *sim.Simulator, net *phys.Network) *Injector {
 	inj := &Injector{S: s, Net: net}
+	if net.Sharded() {
+		inj.sh = metrics.NewSharded(net.Engine().Shards())
+		inj.statsSh = make([]*metrics.Counter, net.Engine().Shards())
+		for i := range inj.statsSh {
+			inj.statsSh[i] = inj.sh.Shard(i)
+		}
+	} else {
+		inj.statsSh = []*metrics.Counter{&inj.Stats}
+	}
 	net.Perturb = inj.perturb
 	return inj
 }
 
-// Close uninstalls the injector from its network; scheduled wire faults
-// stop having any effect.
+// Close uninstalls the injector from its network. Scheduled wire faults
+// stop having any effect, and every fault event already sitting on the
+// simulator — window begin/end, crash restarts, NAT flushes — becomes a
+// no-op instead of firing into the detached network.
 func (inj *Injector) Close() {
+	inj.closed = true
 	inj.rules = nil
 	inj.Net.Perturb = nil
+}
+
+// TotalStats merges the control-plane counters (timeline events) with the
+// per-shard per-packet counters into one view. Call it only between runs
+// on a sharded network.
+func (inj *Injector) TotalStats() metrics.Counter {
+	var out metrics.Counter
+	out.Merge(&inj.Stats)
+	if inj.sh != nil {
+		m := inj.sh.Merged()
+		out.Merge(&m)
+	}
+	return out
 }
 
 // Fault is one schedulable fault scenario. The concrete types in this
@@ -97,7 +140,12 @@ func (inj *Injector) record(label, event string) {
 	inj.Stats.Inc(label+"."+event, 1)
 }
 
-// rule is one active wire perturbation.
+// rule is one active wire perturbation. Event-windowed rules (the
+// original seven fault types) are inserted and removed by scheduled
+// events; timed rules (the gray faults) sit in the slice for the whole
+// run and evaluate their activation window — and any up/down duty cycle —
+// against the packet clock, a pure function of (now, src, dst) that is
+// safe on every shard of a parallel engine.
 type rule struct {
 	label  string
 	match  func(src, dst *phys.Host) bool
@@ -105,22 +153,91 @@ type rule struct {
 	loss   float64
 	extra  sim.Duration
 	jitter sim.Duration
+
+	// Timed activation (gray faults).
+	timed bool
+	from  sim.Time
+	until sim.Time // 0 = forever
+	// flapPeriod/flapUp give a drop rule a duty cycle: within each
+	// period the link is up for flapUp, then the rule applies (drops)
+	// for the remainder.
+	flapPeriod sim.Duration
+	flapUp     sim.Duration
+	// pseudoJitter adds a deterministic per-packet extra delay drawn
+	// uniformly from [0, 2·pseudoJitter) by hashing (seed, now, src,
+	// dst) — latency variance without consulting any shard's RNG, and
+	// never below the base path latency (the parallel engine's lookahead
+	// floor stays valid).
+	pseudoJitter sim.Duration
+	seed         uint64
+}
+
+// activeAt reports whether a timed rule applies to a packet sent at now.
+// Untimed rules are always active while installed.
+func (r *rule) activeAt(now sim.Time) bool {
+	if !r.timed {
+		return true
+	}
+	if now < r.from || (r.until > r.from && now >= r.until) {
+		return false
+	}
+	if r.flapPeriod > 0 {
+		// Up first, then down for the rest of the period.
+		phase := sim.Duration((now - r.from) % sim.Time(r.flapPeriod))
+		if phase < r.flapUp {
+			return false
+		}
+	}
+	return true
+}
+
+// pseudoRand is a deterministic 64-bit mix (FNV-1a) over a fault seed, a
+// timestamp and the two endpoint names — the gray faults' replacement for
+// RNG draws, identical on every engine and shard count.
+func pseudoRand(seed uint64, now sim.Time, a, b string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(seed)
+	mix(uint64(now))
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= prime
+	}
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime
+	}
+	return h
 }
 
 // perturb is the phys.Network hook: compose every active rule that matches
 // the packet's path. A drop rule wins outright; loss probabilities combine
-// as independent trials and latency adds.
+// as independent trials and latency adds. Per-packet counters go to the
+// sending shard's counter (the single aliased Stats counter serially).
 func (inj *Injector) perturb(src, dst *phys.Host, pm phys.PathModel) (phys.PathModel, bool) {
+	now := src.Sim().Now()
 	for _, r := range inj.rules {
-		if !r.match(src, dst) {
+		if !r.activeAt(now) || !r.match(src, dst) {
 			continue
 		}
 		if r.drop {
-			inj.Stats.Inc(r.label+".dropped", 1)
+			inj.statsSh[src.Shard()].Inc(r.label+".dropped", 1)
 			return pm, true
 		}
 		if r.loss > 0 {
 			pm.Loss = 1 - (1-pm.Loss)*(1-r.loss)
+		}
+		if r.pseudoJitter > 0 {
+			span := uint64(2 * r.pseudoJitter)
+			pm.OneWay += sim.Duration(pseudoRand(r.seed, now, src.Name, dst.Name) % span)
 		}
 		pm.OneWay += r.extra
 		pm.Jitter += r.jitter
@@ -132,12 +249,18 @@ func (inj *Injector) perturb(src, dst *phys.Host, pm phys.PathModel) (phys.PathM
 // begin/end. A zero For leaves the fault active forever.
 func (inj *Injector) window(label string, r *rule, from, dur sim.Duration) {
 	inj.S.After(from, func() {
+		if inj.closed {
+			return
+		}
 		inj.rules = append(inj.rules, r)
 		inj.record(label, "begin")
 		if dur <= 0 {
 			return
 		}
 		inj.S.After(dur, func() {
+			if inj.closed {
+				return
+			}
 			for i, have := range inj.rules {
 				if have == r {
 					inj.rules = append(inj.rules[:i], inj.rules[i+1:]...)
@@ -147,6 +270,42 @@ func (inj *Injector) window(label string, r *rule, from, dur sim.Duration) {
 			inj.record(label, "end")
 		})
 	})
+}
+
+// timedWindow installs a timed rule immediately (before the run starts —
+// the shard-safe path) and schedules record-only begin/end marks on the
+// injector's own simulator for the timeline.
+func (inj *Injector) timedWindow(label string, r *rule, from, dur sim.Duration) {
+	now := inj.S.Now()
+	r.timed = true
+	r.from = now.Add(from)
+	if dur > 0 {
+		r.until = now.Add(from + dur)
+	}
+	inj.rules = append(inj.rules, r)
+	inj.S.After(from, func() {
+		if !inj.closed {
+			inj.record(label, "begin")
+		}
+	})
+	if dur > 0 {
+		inj.S.After(from+dur, func() {
+			if !inj.closed {
+				inj.record(label, "end")
+			}
+		})
+	}
+}
+
+// Note records a custom timeline entry ("kill", "restart", …) for fault
+// actions a harness drives itself — e.g. node crashes scheduled on other
+// shards of a parallel engine, where only the bookkeeping belongs on the
+// injector's shard. No-op after Close.
+func (inj *Injector) Note(label, event string) {
+	if inj.closed {
+		return
+	}
+	inj.record(label, event)
 }
 
 // Scope names the hosts a fault touches, by host name and/or site name; an

@@ -125,12 +125,18 @@ func (f CrashRestart) Label() string { return label(f.Name, "crash") }
 
 func (f CrashRestart) arm(inj *Injector) {
 	inj.S.After(f.At, func() {
+		if inj.closed {
+			return
+		}
 		f.Kill()
 		inj.record(f.Label(), "kill")
 		if f.Restart == nil || f.Down <= 0 {
 			return
 		}
 		inj.S.After(f.Down, func() {
+			if inj.closed {
+				return
+			}
 			f.Restart()
 			inj.record(f.Label(), "restart")
 		})
@@ -155,6 +161,9 @@ func (f NATFlush) Label() string { return label(f.Name, "natflush") }
 
 func (f NATFlush) arm(inj *Injector) {
 	inj.S.After(f.At, func() {
+		if inj.closed {
+			return
+		}
 		f.NAT.Rebind()
 		inj.record(f.Label(), "flush")
 	})

@@ -316,12 +316,24 @@ func (t *Ticker) Stop() {
 // positive, uniformly perturbs each interval by ±jitter to avoid lock-step
 // synchronization across many nodes.
 func (s *Simulator) Tick(interval, jitter Duration, fn func()) *Ticker {
+	return s.TickRand(interval, jitter, nil, fn)
+}
+
+// TickRand is Tick with an explicit jitter source: a non-nil rng supplies
+// the interval perturbations instead of the simulator's shared RNG. Nodes
+// that carry their own seeded RNG use this to keep protocol jitter
+// independent of the global draw sequence (and therefore identical across
+// shard counts on the parallel engine). A nil rng is exactly Tick.
+func (s *Simulator) TickRand(interval, jitter Duration, rng *rand.Rand, fn func()) *Ticker {
+	if rng == nil {
+		rng = s.rng
+	}
 	t := &Ticker{}
 	var schedule func()
 	schedule = func() {
 		d := interval
 		if jitter > 0 {
-			d += Duration(s.rng.Int63n(int64(2*jitter))) - jitter
+			d += Duration(rng.Int63n(int64(2*jitter))) - jitter
 			if d < Nanosecond {
 				d = Nanosecond
 			}
