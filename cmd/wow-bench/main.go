@@ -12,12 +12,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"wow/internal/experiments"
+	"wow/internal/trace"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full trial counts (slower)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment on stdout")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
+	traceN := flag.Uint64("trace", 0, "gray harness: sample 1-in-N originations for hop-by-hop route tracing (0 = off); records stream as trace.hop/trace.route JSONL envelopes in -json mode")
+	traceHealth := flag.Float64("trace-health", 0, "gray harness: per-node health.node snapshot period in virtual seconds (0 = off; needs -trace)")
 	flag.Parse()
 
 	// In JSON mode stdout carries only JSON objects; narration goes to
@@ -129,6 +133,41 @@ func main() {
 		fmt.Println(v)
 	}
 
+	// emitTrace streams one run's flight-recorder records: one JSONL
+	// envelope per record in -json mode (experiment names trace.hop,
+	// trace.route and health.node; detector tags which run emitted it), a
+	// per-stream count line otherwise.
+	emitTrace := func(detector string, recs []trace.Record) {
+		if !*jsonOut {
+			var hops, routes, health int
+			for _, r := range recs {
+				switch r.Stream {
+				case trace.StreamHop:
+					hops++
+				case trace.StreamRoute:
+					routes++
+				case trace.StreamHealth:
+					health++
+				}
+			}
+			fmt.Fprintf(narrate, "  [%8s] flight recorder: %d hop, %d route, %d health records\n",
+				detector, hops, routes, health)
+			return
+		}
+		for i := range recs {
+			line, err := json.Marshal(map[string]any{
+				"experiment": recs[i].EnvelopeName(), "seed": *seed,
+				"detector": detector, "data": &recs[i],
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wow-bench: marshal trace record: %v\n", err)
+				exitCode = 1
+				return
+			}
+			fmt.Println(string(line))
+		}
+	}
+
 	if section("join", "Join latency (abstract claim)") {
 		timed(func() {
 			show("join", experiments.RunJoinStats(experiments.JoinOpts{Seed: *seed, Trials: *trials * 3}), nil)
@@ -140,6 +179,25 @@ func main() {
 			show("fig4", res, nil)
 			for _, p := range res.Profiles {
 				writeCSV("fig4-"+p.Scenario.Name+".csv", p.CSV())
+				if !*jsonOut {
+					continue
+				}
+				// One fig4.series row per echo sequence number; rtt_ms is
+				// null when every trial dropped that echo (NaN internally).
+				for i := range p.LossPct {
+					var rtt any
+					if i < len(p.RTTms) && !math.IsNaN(p.RTTms[i]) {
+						rtt = p.RTTms[i]
+					}
+					line, _ := json.Marshal(map[string]any{
+						"experiment": "fig4.series", "seed": *seed,
+						"data": map[string]any{
+							"scenario": p.Scenario.Name, "seq": i + 1,
+							"loss_pct": p.LossPct[i], "rtt_ms": rtt,
+						},
+					})
+					fmt.Println(string(line))
+				}
 			}
 		})
 	}
@@ -170,6 +228,18 @@ func main() {
 			show("fig6", res, err)
 			if err == nil {
 				writeCSV("fig6-progress.csv", res.Progress.CSV())
+				if *jsonOut {
+					// One fig6.series row per 5 s progress sample: seconds
+					// since transfer start, bytes on the client's disk.
+					for i := 0; i < res.Progress.Len(); i++ {
+						t, v := res.Progress.At(i)
+						line, _ := json.Marshal(map[string]any{
+							"experiment": "fig6.series", "seed": *seed,
+							"data": map[string]any{"t_sec": t, "bytes": v},
+						})
+						fmt.Println(string(line))
+					}
+				}
 			}
 		})
 	}
@@ -277,7 +347,11 @@ func main() {
 			// The bench-wide -nodes default (2000) is sized for the scale
 			// harness; gray's own default is 32. Honor -nodes only when the
 			// user passed it explicitly.
-			gOpts := experiments.GrayOpts{Seed: *seed, Shards: *shards, Workers: *workers}
+			gOpts := experiments.GrayOpts{
+				Seed: *seed, Shards: *shards, Workers: *workers,
+				TraceSample: *traceN,
+				TraceHealth: experiments.SettleSeconds(*traceHealth),
+			}
 			flag.Visit(func(f *flag.Flag) {
 				if f.Name == "nodes" {
 					gOpts.Nodes = *nodes
@@ -296,6 +370,10 @@ func main() {
 					p.FalseSuspects, p.Confirmed, p.Deaths, p.MeanDetectMs, p.Events)
 			}
 			res, err := experiments.RunGrayCompare(gOpts)
+			if err == nil && *traceN > 0 {
+				emitTrace(res.Fixed.Detector, res.Fixed.Trace)
+				emitTrace(res.Adaptive.Detector, res.Adaptive.Trace)
+			}
 			show("gray", res, err)
 		})
 	}

@@ -1,0 +1,455 @@
+// Command wow-trace analyzes flight-recorder JSONL produced by
+// `wow-bench -run gray -json -trace N` (or raw trace.MarshalJSONL output):
+// it reconstructs every sampled route from its hop records, checks each
+// chain link-by-link, and reports hop-count and latency distributions,
+// stretch against initial ring distance, tunnel-relay usage, anomalies
+// (routing loops, dead-end drops, relay flaps) and a health-snapshot
+// summary. Input comes from file arguments or stdin; lines that are not
+// trace envelopes (experiment summaries, series rows) are skipped, so a
+// whole wow-bench -json capture pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"wow/internal/metrics"
+	"wow/internal/trace"
+)
+
+// envelope is the wow-bench JSONL framing around one record.
+type envelope struct {
+	Experiment string          `json:"experiment"`
+	Detector   string          `json:"detector"`
+	Data       json.RawMessage `json:"data"`
+}
+
+// taggedRecord is one parsed input record with the detector (run) that
+// emitted it; raw trace.MarshalJSONL input leaves Detector empty.
+type taggedRecord struct {
+	Detector string
+	Rec      trace.Record
+}
+
+// readRecords parses trace/health records out of a JSONL stream,
+// tolerating interleaved non-trace lines. It returns the records in input
+// order plus the number of lines skipped.
+func readRecords(r io.Reader) ([]taggedRecord, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []taggedRecord
+	skipped := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			skipped++
+			continue
+		}
+		var rec trace.Record
+		switch {
+		case env.Data != nil && (strings.HasPrefix(env.Experiment, "trace.") || env.Experiment == "health.node"):
+			if err := json.Unmarshal(env.Data, &rec); err != nil || rec.Stream == "" {
+				skipped++
+				continue
+			}
+		case env.Experiment == "":
+			// Raw trace.MarshalJSONL form: the line is the record itself.
+			if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Stream == "" {
+				skipped++
+				continue
+			}
+		default:
+			skipped++
+			continue
+		}
+		out = append(out, taggedRecord{Detector: env.Detector, Rec: rec})
+	}
+	return out, skipped, sc.Err()
+}
+
+// route is one sampled route's reconstructed life.
+type route struct {
+	Detector string
+	ID       uint64
+	Hops     []trace.Record // origin first, then forwarding hops, by (T, Hop)
+	Terminal *trace.Record
+	Extra    int // route records beyond the first (should never happen)
+}
+
+// chainBreaks counts broken links in the hop chain: hop i names Next=X but
+// hop i+1 executed on node Y != X.
+func (r *route) chainBreaks() int {
+	breaks := 0
+	for i := 0; i+1 < len(r.Hops); i++ {
+		if r.Hops[i+1].Hop != 0 && r.Hops[i].Next != "" && r.Hops[i+1].Node != r.Hops[i].Next {
+			breaks++
+		}
+	}
+	return breaks
+}
+
+// reconstructed reports whether the route is fully accounted for: an
+// origin record, exactly one terminal, and an unbroken hop chain.
+func (r *route) reconstructed() bool {
+	return len(r.Hops) > 0 && r.Hops[0].Kind == trace.KindOrigin &&
+		r.Terminal != nil && r.Extra == 0 && r.chainBreaks() == 0
+}
+
+// loop reports whether any node appears twice along the forwarding path.
+func (r *route) loop() bool {
+	seen := map[string]bool{}
+	for _, h := range r.Hops {
+		if h.Node != "" && h.Hop == 0 && h.Kind == trace.KindOrigin {
+			seen[h.Node] = true
+			continue
+		}
+		if h.Next == "" {
+			continue
+		}
+		if seen[h.Next] {
+			return true
+		}
+		seen[h.Next] = true
+	}
+	return false
+}
+
+// report is the full analysis, also emittable as one JSON object.
+type report struct {
+	Records       int            `json:"records"`
+	Skipped       int            `json:"skipped_lines"`
+	HopRecords    int            `json:"hop_records"`
+	RouteRecords  int            `json:"route_records"`
+	HealthRecords int            `json:"health_records"`
+	Routes        int            `json:"routes"`
+	Reconstructed int            `json:"reconstructed"`
+	ReconFrac     float64        `json:"reconstructed_frac"`
+	Outcomes      map[string]int `json:"outcomes"`
+
+	// Percentiles cover delivered routes only; NaN (no delivered routes)
+	// marshals as -1.
+	HopP50   float64 `json:"hop_p50"`
+	HopP90   float64 `json:"hop_p90"`
+	HopP99   float64 `json:"hop_p99"`
+	LatP50Ms float64 `json:"lat_p50_ms"`
+	LatP90Ms float64 `json:"lat_p90_ms"`
+	LatP99Ms float64 `json:"lat_p99_ms"`
+
+	// StretchByDistBits maps bits(initial ring distance) -> mean hops of
+	// delivered routes starting that far out.
+	StretchByDistBits map[int]float64 `json:"stretch_by_dist_bits"`
+	// RelayUse counts tunnel-relay hops per relay address.
+	RelayUse map[string]int `json:"relay_use,omitempty"`
+
+	Loops      int `json:"loops"`
+	DeadEnds   int `json:"dead_ends"`
+	RelayFlaps int `json:"relay_flaps"`
+
+	HealthNodes   int     `json:"health_nodes"`
+	HealthFinal   float64 `json:"health_final_routable_frac"`
+	MeanBacklog   float64 `json:"health_mean_backlog"`
+	latHist       *metrics.LogHistogram
+	routesByKey   []*route
+	flapsDetail   []string
+	deadendDetail map[string]int
+}
+
+// analyze reconstructs routes and computes the report.
+func analyze(recs []taggedRecord) *report {
+	rep := &report{
+		Outcomes:          map[string]int{},
+		StretchByDistBits: map[int]float64{},
+		RelayUse:          map[string]int{},
+		deadendDetail:     map[string]int{},
+		latHist:           metrics.NewLogHistogram(0.1, 2, 18), // 0.1 ms .. ~26 s
+	}
+	rep.Records = len(recs)
+	routes := map[[2]string]map[uint64]*route{}
+	get := func(det string, id uint64) *route {
+		key := [2]string{det}
+		m := routes[key]
+		if m == nil {
+			m = map[uint64]*route{}
+			routes[key] = m
+		}
+		r := m[id]
+		if r == nil {
+			r = &route{Detector: det, ID: id}
+			m[id] = r
+			rep.routesByKey = append(rep.routesByKey, r)
+		}
+		return r
+	}
+
+	// Relay-flap detection: per (detector, node, next) tunnel edge, a Via
+	// change between consecutive sightings is one flap.
+	lastVia := map[[3]string]string{}
+
+	type healthLast struct {
+		routable bool
+		backlog  int
+	}
+	health := map[[2]string]healthLast{}
+	var backlogSum, backlogN float64
+
+	for _, tr := range recs {
+		rec := tr.Rec
+		switch rec.Stream {
+		case trace.StreamHop:
+			rep.HopRecords++
+			r := get(tr.Detector, rec.Trace)
+			r.Hops = append(r.Hops, rec)
+			if rec.Kind == trace.KindTunnelRelay && rec.Via != "" {
+				rep.RelayUse[rec.Via]++
+				key := [3]string{tr.Detector, rec.Node, rec.Next}
+				if prev, ok := lastVia[key]; ok && prev != rec.Via {
+					rep.RelayFlaps++
+					rep.flapsDetail = append(rep.flapsDetail, fmt.Sprintf(
+						"%s: %s->%s via %s then %s", tr.Detector, short(rec.Node), short(rec.Next), short(prev), short(rec.Via)))
+				}
+				lastVia[key] = rec.Via
+			}
+		case trace.StreamRoute:
+			rep.RouteRecords++
+			r := get(tr.Detector, rec.Trace)
+			if r.Terminal == nil {
+				c := rec
+				r.Terminal = &c
+			} else {
+				r.Extra++
+			}
+			rep.Outcomes[rec.Outcome]++
+		case trace.StreamHealth:
+			rep.HealthRecords++
+			health[[2]string{tr.Detector, rec.Node}] = healthLast{rec.Routable, rec.Backlog}
+			backlogSum += float64(rec.Backlog)
+			backlogN++
+		}
+	}
+
+	var hops, lats []float64
+	for _, r := range rep.routesByKey {
+		sort.SliceStable(r.Hops, func(i, j int) bool {
+			if r.Hops[i].T != r.Hops[j].T {
+				return r.Hops[i].T < r.Hops[j].T
+			}
+			return r.Hops[i].Hop < r.Hops[j].Hop
+		})
+		rep.Routes++
+		if r.reconstructed() {
+			rep.Reconstructed++
+		}
+		if r.loop() {
+			rep.Loops++
+		}
+		if r.Terminal == nil {
+			continue
+		}
+		out := r.Terminal.Outcome
+		delivered := strings.HasPrefix(out, "delivered")
+		if !delivered {
+			rep.DeadEnds++
+			rep.deadendDetail[out]++
+		}
+		if delivered {
+			hops = append(hops, float64(r.Terminal.Hops))
+			ms := float64(r.Terminal.LatNs) / 1e6
+			lats = append(lats, ms)
+			rep.latHist.Add(ms)
+		}
+	}
+	// Stretch: mean hops per bits(initial distance) bucket.
+	sums := map[int]float64{}
+	counts := map[int]float64{}
+	for _, r := range rep.routesByKey {
+		if r.Terminal == nil || !strings.HasPrefix(r.Terminal.Outcome, "delivered") {
+			continue
+		}
+		if len(r.Hops) == 0 || r.Hops[0].Kind != trace.KindOrigin {
+			continue
+		}
+		bits := distBits(r.Hops[0].Dist)
+		sums[bits] += float64(r.Terminal.Hops)
+		counts[bits]++
+	}
+	rep.StretchByDistBits = map[int]float64{}
+	for b, s := range sums {
+		rep.StretchByDistBits[b] = s / counts[b]
+	}
+
+	if rep.Routes > 0 {
+		rep.ReconFrac = float64(rep.Reconstructed) / float64(rep.Routes)
+	}
+	nanAsNeg := func(v float64) float64 {
+		if math.IsNaN(v) {
+			return -1
+		}
+		return v
+	}
+	rep.HopP50 = nanAsNeg(metrics.Percentile(hops, 50))
+	rep.HopP90 = nanAsNeg(metrics.Percentile(hops, 90))
+	rep.HopP99 = nanAsNeg(metrics.Percentile(hops, 99))
+	rep.LatP50Ms = nanAsNeg(metrics.Percentile(lats, 50))
+	rep.LatP90Ms = nanAsNeg(metrics.Percentile(lats, 90))
+	rep.LatP99Ms = nanAsNeg(metrics.Percentile(lats, 99))
+	rep.HealthNodes = len(health)
+	if len(health) > 0 {
+		routable := 0
+		for _, h := range health {
+			if h.routable {
+				routable++
+			}
+		}
+		rep.HealthFinal = float64(routable) / float64(len(health))
+	}
+	if backlogN > 0 {
+		rep.MeanBacklog = backlogSum / backlogN
+	}
+	return rep
+}
+
+// distBits is the bit length of the top-64 ring distance — the log2
+// bucket stretch is reported against.
+func distBits(d uint64) int {
+	bits := 0
+	for d > 0 {
+		bits++
+		d >>= 1
+	}
+	return bits
+}
+
+func short(addr string) string {
+	if len(addr) > 8 {
+		return addr[:8]
+	}
+	return addr
+}
+
+func pctOr(v float64) string {
+	if v < 0 || math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// String renders the human report.
+func (rep *report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d records (%d hop, %d route, %d health; %d non-trace lines skipped)\n",
+		rep.Records, rep.HopRecords, rep.RouteRecords, rep.HealthRecords, rep.Skipped)
+	fmt.Fprintf(&b, "routes: %d sampled, %d reconstructed (%.1f%%)\n",
+		rep.Routes, rep.Reconstructed, rep.ReconFrac*100)
+	if len(rep.Outcomes) > 0 {
+		names := make([]string, 0, len(rep.Outcomes))
+		for n := range rep.Outcomes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("outcomes:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-22s %d\n", n, rep.Outcomes[n])
+		}
+	}
+	fmt.Fprintf(&b, "hops (delivered): p50=%s p90=%s p99=%s\n", pctOr(rep.HopP50), pctOr(rep.HopP90), pctOr(rep.HopP99))
+	fmt.Fprintf(&b, "latency ms (delivered): p50=%s p90=%s p99=%s\n", pctOr(rep.LatP50Ms), pctOr(rep.LatP90Ms), pctOr(rep.LatP99Ms))
+	if rep.latHist.Total() > 0 {
+		b.WriteString("latency distribution (ms, log2 bins):\n")
+		b.WriteString(rep.latHist.String())
+	}
+	if len(rep.StretchByDistBits) > 0 {
+		b.WriteString("stretch (mean hops by initial ring distance bits):\n")
+		bits := make([]int, 0, len(rep.StretchByDistBits))
+		for k := range rep.StretchByDistBits {
+			bits = append(bits, k)
+		}
+		sort.Ints(bits)
+		for _, k := range bits {
+			fmt.Fprintf(&b, "  2^%-3d %0.2f hops\n", k, rep.StretchByDistBits[k])
+		}
+	}
+	if len(rep.RelayUse) > 0 {
+		b.WriteString("tunnel relay usage:\n")
+		names := make([]string, 0, len(rep.RelayUse))
+		for n := range rep.RelayUse {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if rep.RelayUse[names[i]] != rep.RelayUse[names[j]] {
+				return rep.RelayUse[names[i]] > rep.RelayUse[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s %d frames\n", short(n), rep.RelayUse[n])
+		}
+	}
+	fmt.Fprintf(&b, "anomalies: %d loops, %d dead-end drops, %d relay flaps\n",
+		rep.Loops, rep.DeadEnds, rep.RelayFlaps)
+	if len(rep.deadendDetail) > 0 {
+		names := make([]string, 0, len(rep.deadendDetail))
+		for n := range rep.deadendDetail {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  dead end: %-22s %d\n", n, rep.deadendDetail[n])
+		}
+	}
+	for _, f := range rep.flapsDetail {
+		fmt.Fprintf(&b, "  relay flap: %s\n", f)
+	}
+	if rep.HealthRecords > 0 {
+		fmt.Fprintf(&b, "health: %d nodes, final routable %.1f%%, mean repair backlog %.2f\n",
+			rep.HealthNodes, rep.HealthFinal*100, rep.MeanBacklog)
+	}
+	return b.String()
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the analysis as one JSON object")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wow-trace: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	recs, skipped, err := readRecords(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wow-trace: read: %v\n", err)
+		os.Exit(2)
+	}
+	rep := analyze(recs)
+	rep.Skipped = skipped
+	if *jsonOut {
+		line, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wow-trace: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(line))
+		return
+	}
+	fmt.Print(rep.String())
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wow/internal/experiments"
+	"wow/internal/trace"
+)
+
+// TestReadRecordsForms: the reader accepts both input framings — wow-bench
+// envelopes and raw trace.MarshalJSONL lines — and counts everything else
+// as skipped without failing.
+func TestReadRecordsForms(t *testing.T) {
+	in := strings.Join([]string{
+		`{"experiment":"trace.hop","seed":5,"detector":"adaptive","data":{"stream":"hop","t":7,"node":"n1","trace":9,"kind":"origin"}}`,
+		`{"experiment":"trace.route","seed":5,"detector":"adaptive","data":{"stream":"route","t":8,"trace":9,"outcome":"delivered"}}`,
+		`{"experiment":"health.node","seed":5,"detector":"fixed","data":{"stream":"health","t":9,"node":"n2","routable":true}}`,
+		`{"stream":"hop","t":10,"node":"n3","trace":11,"kind":"origin"}`,      // raw form
+		`{"experiment":"gray.summary","seed":5,"data":{"timeline":"w0 ..."}}`, // other experiment: skip
+		`not json at all`, // skip
+		``,                // blank: ignored entirely
+		`{"experiment":"trace.hop","data":{"nonsense":true}}`, // trace envelope, no stream: skip
+	}, "\n")
+	recs, skipped, err := readRecords(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4: %+v", len(recs), recs)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if recs[0].Detector != "adaptive" || recs[0].Rec.Stream != trace.StreamHop || recs[0].Rec.Trace != 9 {
+		t.Errorf("envelope hop parsed wrong: %+v", recs[0])
+	}
+	if recs[2].Detector != "fixed" || !recs[2].Rec.Routable {
+		t.Errorf("health record parsed wrong: %+v", recs[2])
+	}
+	if recs[3].Detector != "" || recs[3].Rec.Node != "n3" {
+		t.Errorf("raw record parsed wrong: %+v", recs[3])
+	}
+}
+
+// TestAnalyzeAnomalies drives analyze with hand-built routes exercising
+// every anomaly counter: a clean delivered route, a routing loop, a
+// dead-end drop, a broken chain, and a relay flap.
+func TestAnalyzeAnomalies(t *testing.T) {
+	rec := func(det string, r trace.Record) taggedRecord { return taggedRecord{Detector: det, Rec: r} }
+	recs := []taggedRecord{
+		// Route 1: clean two-hop delivery, origin distance 2^10 bucket.
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 1, Node: "n1", Trace: 1, Kind: trace.KindOrigin, Dist: 1 << 9, Src: "n1", Dst: "n3"}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 1, Node: "n1", Trace: 1, Hop: 1, Kind: "near", Next: "n2"}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 2, Node: "n2", Trace: 1, Hop: 2, Kind: "near", Next: "n3"}),
+		rec("a", trace.Record{Stream: trace.StreamRoute, T: 3, Node: "n3", Trace: 1, Hops: 2, LatNs: 2e6, Outcome: "delivered"}),
+		// Route 2: loops back through n1 and dies at a dead end.
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 4, Node: "n1", Trace: 2, Kind: trace.KindOrigin, Dist: 1 << 9}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 4, Node: "n1", Trace: 2, Hop: 1, Kind: "near", Next: "n2"}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 5, Node: "n2", Trace: 2, Hop: 2, Kind: "near", Next: "n1"}),
+		rec("a", trace.Record{Stream: trace.StreamRoute, T: 6, Node: "n1", Trace: 2, Hops: 2, Outcome: "drop.no_candidate"}),
+		// Route 3: chain break — hop 1 names n5 but hop 2 runs on n6.
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 7, Node: "n4", Trace: 3, Kind: trace.KindOrigin}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 7, Node: "n4", Trace: 3, Hop: 1, Kind: "near", Next: "n5"}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 8, Node: "n6", Trace: 3, Hop: 2, Kind: "near", Next: "n7"}),
+		rec("a", trace.Record{Stream: trace.StreamRoute, T: 9, Node: "n7", Trace: 3, Hops: 2, LatNs: 5e6, Outcome: "delivered"}),
+		// Relay flap on edge n8->n9: via r1 then via r2.
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 10, Node: "n8", Trace: 4, Kind: trace.KindOrigin}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 10, Node: "n8", Trace: 4, Hop: 1, Kind: trace.KindTunnelRelay, Next: "n9", Via: "r1"}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 11, Node: "n8", Trace: 5, Kind: trace.KindOrigin}),
+		rec("a", trace.Record{Stream: trace.StreamHop, T: 11, Node: "n8", Trace: 5, Hop: 1, Kind: trace.KindTunnelRelay, Next: "n9", Via: "r2"}),
+		// Health snapshots: one routable, one not.
+		rec("a", trace.Record{Stream: trace.StreamHealth, T: 12, Node: "n1", Routable: true, Backlog: 2}),
+		rec("a", trace.Record{Stream: trace.StreamHealth, T: 12, Node: "n2", Routable: false, Backlog: 4}),
+	}
+	rep := analyze(recs)
+	if rep.Routes != 5 {
+		t.Errorf("routes = %d, want 5", rep.Routes)
+	}
+	// Only route 1 is fully reconstructed: 2 lacks delivery but is intact
+	// (origin + terminal + unbroken chain → reconstructed), 3 has a chain
+	// break, 4 and 5 never terminate.
+	if rep.Reconstructed != 2 {
+		t.Errorf("reconstructed = %d, want 2", rep.Reconstructed)
+	}
+	if rep.Loops != 1 {
+		t.Errorf("loops = %d, want 1", rep.Loops)
+	}
+	if rep.DeadEnds != 1 || rep.Outcomes["drop.no_candidate"] != 1 {
+		t.Errorf("dead ends = %d outcomes = %v", rep.DeadEnds, rep.Outcomes)
+	}
+	if rep.RelayFlaps != 1 {
+		t.Errorf("relay flaps = %d, want 1", rep.RelayFlaps)
+	}
+	if rep.RelayUse["r1"] != 1 || rep.RelayUse["r2"] != 1 {
+		t.Errorf("relay use = %v", rep.RelayUse)
+	}
+	if rep.HopP50 != 2 {
+		t.Errorf("hop p50 = %v, want 2 (two delivered routes, both 2 hops)", rep.HopP50)
+	}
+	if rep.HealthNodes != 2 || rep.HealthFinal != 0.5 || rep.MeanBacklog != 3 {
+		t.Errorf("health: nodes=%d final=%v backlog=%v", rep.HealthNodes, rep.HealthFinal, rep.MeanBacklog)
+	}
+	if got := rep.StretchByDistBits[10]; got != 2 {
+		t.Errorf("stretch[10] = %v, want 2 (route 1, dist 2^9, 2 hops)", got)
+	}
+	out := rep.String()
+	for _, want := range []string{"routes: 5 sampled", "drop.no_candidate", "relay flap", "health: 2 nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not marshalable: %v", err)
+	}
+}
+
+// TestAnalyzeEmptyInput: no records must not divide by zero or emit NaN
+// into the JSON report.
+func TestAnalyzeEmptyInput(t *testing.T) {
+	rep := analyze(nil)
+	if rep.Routes != 0 || rep.ReconFrac != 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.HopP50 != -1 || rep.LatP99Ms != -1 {
+		t.Errorf("empty percentiles = %v/%v, want -1 sentinels", rep.HopP50, rep.LatP99Ms)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "NaN") {
+		t.Errorf("NaN leaked into JSON: %s", data)
+	}
+}
+
+// TestAnalyzeSeed5GrayRun is the acceptance check from the issue: at
+// 1-in-16 sampling on the seed-5 gray-failure run, the analyzer must
+// reconstruct at least 99% of sampled routes end-to-end.
+func TestAnalyzeSeed5GrayRun(t *testing.T) {
+	r, err := experiments.RunGrayFailures(experiments.GrayOpts{
+		Seed: 5, Adaptive: true, TraceSample: 16,
+		TraceHealth: experiments.SettleSeconds(120),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the records through the same JSONL round trip the CLI uses.
+	data, err := trace.MarshalJSONL(r.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := readRecords(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("round trip skipped %d of its own lines", skipped)
+	}
+	if len(recs) != len(r.Trace) {
+		t.Fatalf("round trip lost records: %d in, %d out", len(r.Trace), len(recs))
+	}
+	rep := analyze(recs)
+	if rep.Routes == 0 {
+		t.Fatal("no routes sampled")
+	}
+	if rep.ReconFrac < 0.99 {
+		t.Errorf("reconstructed %.4f of %d routes, want >= 0.99\n%s",
+			rep.ReconFrac, rep.Routes, rep.String())
+	}
+	if rep.Outcomes["delivered"] == 0 {
+		t.Error("no delivered routes in gray run")
+	}
+	if rep.HopP50 <= 0 || rep.LatP50Ms <= 0 {
+		t.Errorf("percentiles not computed: hops p50=%v lat p50=%v", rep.HopP50, rep.LatP50Ms)
+	}
+	if rep.HealthRecords == 0 || rep.HealthNodes == 0 {
+		t.Error("health ticker armed but analyzer saw no snapshots")
+	}
+	if rep.Loops != 0 {
+		t.Errorf("%d routing loops in greedy routing", rep.Loops)
+	}
+}

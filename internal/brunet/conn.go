@@ -7,6 +7,7 @@ import (
 
 	"wow/internal/phys"
 	"wow/internal/sim"
+	"wow/internal/trace"
 )
 
 // Connection is an established overlay link to a peer. A single physical
@@ -356,6 +357,11 @@ func (n *Node) watchStream(c *Connection) {
 // tunnelFrame and handed to the first live relay.
 func (n *Node) sendConn(c *Connection, size int, payload any) {
 	if !n.up || c.closed {
+		if n.flight != nil {
+			if op, ok := payload.(*OverlayPacket); ok && op.Trace != 0 {
+				n.flightTerminal(op, trace.OutcomeConnClosed)
+			}
+		}
 		return
 	}
 	if c.Tunneled() {
@@ -427,6 +433,11 @@ func (n *Node) sendTunnel(c *Connection, size int, payload any) {
 	rc := n.bestRelay(c)
 	if rc == nil {
 		n.Stats.Inc("tunnel.norelay", 1)
+		if n.flight != nil {
+			if op, ok := payload.(*OverlayPacket); ok && op.Trace != 0 {
+				n.flightTerminal(op, trace.OutcomeNoRelay)
+			}
+		}
 		return
 	}
 	frame := tunnelFrame{From: n.addr, To: c.Peer, Via: rc.Peer, Size: size, Inner: payload}

@@ -1,6 +1,10 @@
 package brunet
 
-import "fmt"
+import (
+	"fmt"
+
+	"wow/internal/sim"
+)
 
 // ConnType classifies overlay connections (§IV-A).
 type ConnType int
@@ -181,6 +185,13 @@ type OverlayPacket struct {
 	Size     int
 	Payload  any
 
+	// Trace is the flight-recorder context: zero for unsampled packets,
+	// the deterministic per-origin sample hash otherwise. Every hop of a
+	// traced packet appends a record; TraceStart stamps the origination
+	// time so terminals can report end-to-end latency.
+	Trace      uint64
+	TraceStart sim.Time
+
 	// app is the inline AppData of a pooled packet; Payload aliases it.
 	app AppData
 	// pooled marks packets owned by the origination pool; only these are
@@ -189,6 +200,16 @@ type OverlayPacket struct {
 	// nextFree links a node's packet free list.
 	nextFree *OverlayPacket
 }
+
+// TraceContext exposes the packet's flight-recorder context
+// (trace.Traced); id zero means untraced.
+func (p *OverlayPacket) TraceContext() (uint64, sim.Time) { return p.Trace, p.TraceStart }
+
+// ClearTrace consumes the trace context after a terminal record. The
+// physical layer calls it through trace.Cleared so a packet object shared
+// between a transport retransmit buffer and the wire can never produce two
+// terminals.
+func (p *OverlayPacket) ClearTrace() { p.Trace = 0 }
 
 // ctmRequest is the Connect-To-Me message of the connection protocol
 // (§IV-B1), routed over the overlay to the target address.
@@ -245,6 +266,25 @@ type tunnelFrame struct {
 	Inner    any
 }
 
+// TraceContext delegates to the wrapped message: dropping a tunnel frame
+// in flight terminates the traced overlay packet inside it.
+func (f tunnelFrame) TraceContext() (uint64, sim.Time) {
+	if t, ok := f.Inner.(interface {
+		TraceContext() (uint64, sim.Time)
+	}); ok {
+		return t.TraceContext()
+	}
+	return 0, 0
+}
+
+// ClearTrace delegates to the wrapped message (the Inner interface holds a
+// pointer, so the value receiver still reaches the shared packet).
+func (f tunnelFrame) ClearTrace() {
+	if c, ok := f.Inner.(interface{ ClearTrace() }); ok {
+		c.ClearTrace()
+	}
+}
+
 // tunnelNoRoute is a relay's bounce for a tunnelFrame it could not
 // forward (no direct connection to the frame's To). It travels back to the
 // originator over the direct connection the frame arrived on, letting the
@@ -261,6 +301,23 @@ type forwarded struct {
 	To    Addr
 	Inner any
 	Size  int
+}
+
+// TraceContext delegates to the wrapped message, like tunnelFrame's.
+func (f forwarded) TraceContext() (uint64, sim.Time) {
+	if t, ok := f.Inner.(interface {
+		TraceContext() (uint64, sim.Time)
+	}); ok {
+		return t.TraceContext()
+	}
+	return 0, 0
+}
+
+// ClearTrace delegates to the wrapped message, like tunnelFrame's.
+func (f forwarded) ClearTrace() {
+	if c, ok := f.Inner.(interface{ ClearTrace() }); ok {
+		c.ClearTrace()
+	}
 }
 
 // AppData is application traffic tunnelled over the overlay; IPOP uses it

@@ -8,6 +8,7 @@ import (
 	"wow/internal/metrics"
 	"wow/internal/phys"
 	"wow/internal/sim"
+	"wow/internal/trace"
 )
 
 // UseZero is the explicit-zero sentinel for Config's numeric fields. A
@@ -305,6 +306,11 @@ type Node struct {
 	// node terminates one releases it into its own list. Node-local lists
 	// keep the pool shard-safe under the parallel engine.
 	freePkt *OverlayPacket
+
+	// flight is the node's flight-recorder handle (EnableTrace); nil —
+	// the default — disables all tracing at the cost of one nil check
+	// per origination.
+	flight *flightRecorder
 }
 
 // acquirePkt takes a packet from the origination pool, or allocates one.
@@ -328,6 +334,7 @@ func (n *Node) releasePkt(p *OverlayPacket) {
 	p.pooled = false
 	p.Payload = nil
 	p.app = AppData{}
+	p.Trace, p.TraceStart = 0, 0
 	p.nextFree = n.freePkt
 	n.freePkt = p
 }
@@ -545,6 +552,11 @@ func (n *Node) Start(bootstrap []URI) error {
 	if n.sco != nil {
 		n.sco.start()
 	}
+	// The health sampler runs jitter-free (no RNG draw) and read-only, so
+	// arming it adds events without perturbing any protocol decision.
+	if n.flight != nil && n.flight.health > 0 {
+		n.tickers = append(n.tickers, n.tick(n.flight.health, 0, n.flightHealthTick))
+	}
 	return nil
 }
 
@@ -716,6 +728,13 @@ func (n *Node) acceptStream(st *phys.Stream) {
 // handleWire dispatches one link-layer message from either transport.
 func (n *Node) handleWire(w wire, payload any) {
 	if !n.up {
+		// A stopped node silently eats anything still addressed to it;
+		// give traced packets a terminal instead of a vanishing act.
+		if n.flight != nil {
+			if op, ok := payload.(*OverlayPacket); ok && op.Trace != 0 {
+				n.flightTerminal(op, trace.OutcomeNodeDown)
+			}
+		}
 		return
 	}
 	switch m := payload.(type) {
@@ -812,8 +831,16 @@ func (n *Node) SendTo(dst Addr, mode DeliveryMode, d AppData) {
 // child's forwarding agent into the ring).
 func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 	if !n.up {
+		if n.flight != nil && pkt.Trace != 0 {
+			n.flightTerminal(pkt, trace.OutcomeNodeDown)
+		}
 		n.releasePkt(pkt)
 		return
+	}
+	// Sampling happens at origination only: a packet entering the router
+	// with zero hops from this node's own address.
+	if n.flight != nil && pkt.Trace == 0 && pkt.Hops == 0 && from == n.addr {
+		n.flightSample(pkt)
 	}
 	if pkt.Dst == n.addr {
 		n.deliver(pkt)
@@ -822,6 +849,9 @@ func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 	}
 	if pkt.Hops >= pkt.MaxHops {
 		n.statHopsExceeded.Inc(1)
+		if n.flight != nil && pkt.Trace != 0 {
+			n.flightTerminal(pkt, trace.OutcomeHopsExceeded)
+		}
 		n.releasePkt(pkt)
 		return
 	}
@@ -835,6 +865,12 @@ func (n *Node) routePacket(pkt *OverlayPacket, from Addr) {
 	pkt.Hops++
 	n.statForwarded.Inc(1)
 	n.sendConn(best, pkt.Size, pkt)
+	// After sendConn, so a tunnel hop's record names the relay this very
+	// frame used; a packet that died inside sendConn has had its context
+	// consumed by the terminal record and skips the hop record here.
+	if n.flight != nil && pkt.Trace != 0 {
+		n.flightHop(pkt, best)
+	}
 }
 
 // deliver terminates a packet at this node. Exact-mode packets for another
@@ -845,7 +881,17 @@ func (n *Node) deliver(pkt *OverlayPacket) {
 	exact := pkt.Dst == n.addr
 	if !exact && pkt.Mode == DeliverExact {
 		n.statDeadLetter.Inc(1)
+		if n.flight != nil && pkt.Trace != 0 {
+			n.flightTerminal(pkt, trace.OutcomeDeadLetter)
+		}
 		return
+	}
+	if n.flight != nil && pkt.Trace != 0 {
+		if exact {
+			n.flightTerminal(pkt, trace.OutcomeDelivered)
+		} else {
+			n.flightTerminal(pkt, trace.OutcomeNearest)
+		}
 	}
 	switch m := pkt.Payload.(type) {
 	case ctmRequest:
@@ -977,9 +1023,13 @@ func (n *Node) handleCTMRequest(pkt *OverlayPacket, req ctmRequest, exact bool) 
 		if other := n.neighborAcross(req.From); other != nil {
 			// CTM packets are never pooled (see OverlayPacket), so this
 			// shallow copy cannot alias a pooled payload; clear the pool
-			// links anyway so the copy is self-evidently unpooled.
+			// links anyway so the copy is self-evidently unpooled. The
+			// trace context is cleared too: the original traced packet
+			// terminated here, and a copy re-emitting under the same id
+			// would corrupt the hop chain.
 			cp := *pkt
 			cp.pooled, cp.nextFree = false, nil
+			cp.Trace, cp.TraceStart = 0, 0
 			cp.Hops++
 			cp.Mode = DeliverExact
 			cp.Dst = other.Peer
@@ -1078,6 +1128,11 @@ func (n *Node) handleTunnelFrame(w wire, f tunnelFrame) {
 		c, ok := n.conns[f.To]
 		if !ok || c.closed || c.Tunneled() {
 			n.Stats.Inc("tunnel.relay_noroute", 1)
+			if n.flight != nil {
+				if op, tok := f.Inner.(*OverlayPacket); tok && op.Trace != 0 {
+					n.flightTerminal(op, trace.OutcomeRelayNoRoute)
+				}
+			}
 			// Bounce: tell the originator this relay has no direct route
 			// to To, so it fails over now rather than at ping timeout.
 			if oc, live := n.conns[f.From]; live && !oc.closed && !oc.Tunneled() {

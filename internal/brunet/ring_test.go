@@ -7,6 +7,7 @@ import (
 
 	"wow/internal/phys"
 	"wow/internal/sim"
+	"wow/internal/trace"
 )
 
 // ringTestNode builds a bare node (never started) whose connection table
@@ -262,5 +263,90 @@ func TestAllocFreeOrigination(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Errorf("allocs per originated packet = %.2f, want 0 (2 sends/run)", avg)
+	}
+}
+
+// enableUnsampledTrace arms the flight recorder on every node with a
+// sampling rate so sparse no packet in the test will be sampled: the
+// enabled-but-unsampled path (one nil check, one inline FNV hash per
+// origination) must stay exactly as allocation-free as tracing disabled.
+func enableUnsampledTrace(s *sim.Simulator, nodes []*Node) *trace.Tracer {
+	tr := trace.New(trace.Options{SampleN: 1 << 62}, s)
+	for _, n := range nodes {
+		n.EnableTrace(tr)
+	}
+	return tr
+}
+
+// TestAllocFreeForwardingTraced repeats the forwarding guard with the
+// flight recorder enabled and the packets unsampled — recording must add
+// zero allocations to the hot path.
+func TestAllocFreeForwardingTraced(t *testing.T) {
+	s, nodes := buildZeroLatencyRing(t, 7, 12)
+	tr := enableUnsampledTrace(s, nodes)
+	src, dst := nodes[2], nodes[9]
+	pkt := &OverlayPacket{Payload: AppData{Proto: "allocguard", Size: 64}}
+	delivered := 0
+	dst.RegisterProto("allocguard", func(Addr, AppData) { delivered++ })
+	route := func() {
+		pkt.Src = src.Addr()
+		pkt.Dst = dst.Addr()
+		pkt.Mode = DeliverExact
+		pkt.Hops = 0
+		pkt.MaxHops = src.cfg.MaxHops
+		pkt.Size = overlayHdrSize + 64
+		src.routePacket(pkt, src.Addr())
+		s.RunUntil(s.Now())
+	}
+	for i := 0; i < 64; i++ {
+		route()
+	}
+	if delivered == 0 {
+		t.Fatal("warmup packets never delivered; measurement would be vacuous")
+	}
+	avg := testing.AllocsPerRun(200, route)
+	if n := tr.Shard(0).Len(); n != 0 {
+		t.Fatalf("expected no sampled packets at 1-in-2^62, got %d records", n)
+	}
+	if raceEnabled {
+		t.Logf("allocs/packet traced-unsampled under -race: %.2f (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("allocs per forwarded packet with tracing enabled = %.2f, want 0", avg)
+	}
+}
+
+// TestAllocFreeOriginationTraced repeats the origination guard with the
+// flight recorder enabled and the packets unsampled.
+func TestAllocFreeOriginationTraced(t *testing.T) {
+	s, nodes := buildZeroLatencyRing(t, 11, 12)
+	tr := enableUnsampledTrace(s, nodes)
+	src, dst := nodes[3], nodes[8]
+	delivered := 0
+	dst.RegisterProto("allocguard", func(Addr, AppData) { delivered++ })
+	src.RegisterProto("allocguard", func(Addr, AppData) {})
+	d := AppData{Proto: "allocguard", Size: 64}
+	send := func() {
+		src.SendTo(dst.Addr(), DeliverExact, d)
+		dst.SendTo(src.Addr(), DeliverExact, d)
+		s.RunUntil(s.Now())
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if delivered == 0 {
+		t.Fatal("warmup packets never delivered; measurement would be vacuous")
+	}
+	avg := testing.AllocsPerRun(200, send)
+	if n := tr.Shard(0).Len(); n != 0 {
+		t.Fatalf("expected no sampled packets at 1-in-2^62, got %d records", n)
+	}
+	if raceEnabled {
+		t.Logf("allocs/origination traced-unsampled under -race: %.2f (not asserted)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Errorf("allocs per originated packet with tracing enabled = %.2f, want 0 (2 sends/run)", avg)
 	}
 }

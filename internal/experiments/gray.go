@@ -10,6 +10,7 @@ import (
 	"wow/internal/faults"
 	"wow/internal/phys"
 	"wow/internal/sim"
+	"wow/internal/trace"
 )
 
 // This file is the gray-failure survivability harness: a router-only
@@ -56,6 +57,16 @@ type GrayOpts struct {
 	// out of every FlapPeriod, dead for the remainder.
 	FlapPeriod sim.Duration
 	FlapUp     sim.Duration
+
+	// TraceSample, when non-zero, arms the flight recorder: every node
+	// samples 1-in-TraceSample of its originations for hop-by-hop route
+	// tracing. Sampling is deterministic in (node address, origination
+	// sequence), so the traced subset is identical across engines.
+	TraceSample uint64
+	// TraceHealth, when non-zero (and tracing is armed), emits one
+	// health.node snapshot per node at this period. The ticker is
+	// jitter-free and read-only: protocol outcomes are unchanged.
+	TraceHealth sim.Duration
 
 	// Shards runs the simulation on a sim.Sharded engine with this many
 	// shards; 0 keeps the classic serial event queue.
@@ -179,6 +190,11 @@ type GrayResult struct {
 	Shards  int `json:",omitempty"`
 	Workers int `json:",omitempty"`
 	Series  []GrayPoint
+
+	// Trace holds the run's merged flight-recorder stream (empty unless
+	// GrayOpts.TraceSample armed it). Excluded from the summary JSON —
+	// wow-bench streams each record as its own JSONL envelope instead.
+	Trace []trace.Record `json:"-"`
 }
 
 // String renders the run summary.
@@ -284,6 +300,27 @@ func RunGrayFailures(opts GrayOpts) (*GrayResult, error) {
 		name := fmt.Sprintf("gray%03d", i)
 		h := net.AddHost(name, sites[i%opts.Sites], net.Root(), phys.HostConfig{})
 		nodes[i] = brunet.NewNode(h, brunet.AddrFromString(name), cfg)
+	}
+
+	// Arm the flight recorder before any node starts: one single-writer
+	// buffer per engine shard, each stamping records with its own shard
+	// clock; physical-layer drops terminate traced routes too.
+	var tracer *trace.Tracer
+	if opts.TraceSample > 0 {
+		topts := trace.Options{SampleN: opts.TraceSample, Health: opts.TraceHealth}
+		if eng != nil {
+			clocks := make([]trace.Clock, eng.Shards())
+			for i := range clocks {
+				clocks[i] = eng.Shard(i)
+			}
+			tracer = trace.New(topts, clocks...)
+		} else {
+			tracer = trace.New(topts, s)
+		}
+		net.FlightRecorder = tracer
+		for _, n := range nodes {
+			n.EnableTrace(tracer)
+		}
 	}
 	for i, n := range nodes {
 		i, n := i, n
@@ -451,6 +488,9 @@ func RunGrayFailures(opts GrayOpts) (*GrayResult, error) {
 	}
 	if detected > 0 {
 		res.MeanDetectSec /= float64(detected)
+	}
+	if tracer != nil {
+		res.Trace = tracer.Drain()
 	}
 	inj.Close()
 	return res, nil

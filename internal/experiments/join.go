@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -81,6 +82,40 @@ type JoinProfile struct {
 	// existed (NaN if never within the trial window).
 	RoutableAt []float64
 	ShortcutAt []float64
+}
+
+// MarshalJSON renders the profile with NaN entries as JSON null —
+// encoding/json rejects NaN outright, which would otherwise make every
+// profile with a fully-dropped sequence number unserializable.
+func (p *JoinProfile) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Scenario   JoinScenario
+		Trials     int
+		RTTms      []*float64
+		LossPct    []float64
+		RoutableAt []*float64
+		ShortcutAt []*float64
+	}
+	return json.Marshal(alias{
+		Scenario:   p.Scenario,
+		Trials:     p.Trials,
+		RTTms:      nanToNull(p.RTTms),
+		LossPct:    p.LossPct,
+		RoutableAt: nanToNull(p.RoutableAt),
+		ShortcutAt: nanToNull(p.ShortcutAt),
+	})
+}
+
+// nanToNull maps each value to a pointer, with NaN becoming nil (JSON null).
+func nanToNull(xs []float64) []*float64 {
+	out := make([]*float64, len(xs))
+	for i := range xs {
+		if !math.IsNaN(xs[i]) {
+			v := xs[i]
+			out[i] = &v
+		}
+	}
+	return out
 }
 
 // Regimes splits the profile into the paper's three Figure 5 regimes and

@@ -82,12 +82,18 @@ func Percentile(xs []float64, p float64) float64 {
 
 // Histogram is a fixed-width-bin histogram over [Lo, Lo+Width*len(Counts)).
 // Samples outside the range are clamped into the first/last bin, mirroring
-// how the paper's Figure 8 bins wall-clock times.
+// how the paper's Figure 8 bins wall-clock times — but no longer silently:
+// Outliers reports how many samples were clamped on each side, and String
+// appends the counts whenever they are non-zero, so an invisible tail in a
+// figure is at least a visible number in the report.
 type Histogram struct {
 	Lo     float64
 	Width  float64
 	Counts []int
 	total  int
+	// under/over count samples clamped into the edge bins from below the
+	// range and from at-or-above its top edge.
+	under, over int
 }
 
 // NewHistogram creates a histogram with bins of the given width starting at
@@ -102,14 +108,17 @@ func NewHistogram(lo, width float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Width: width, Counts: make([]int, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. Samples outside the histogram's range land in the
+// nearest edge bin and are additionally counted as outliers.
 func (h *Histogram) Add(x float64) {
 	i := int(math.Floor((x - h.Lo) / h.Width))
 	if i < 0 {
 		i = 0
+		h.under++
 	}
 	if i >= len(h.Counts) {
 		i = len(h.Counts) - 1
+		h.over++
 	}
 	h.Counts[i]++
 	h.total++
@@ -117,6 +126,10 @@ func (h *Histogram) Add(x float64) {
 
 // Total reports the number of samples recorded.
 func (h *Histogram) Total() int { return h.total }
+
+// Outliers reports how many samples fell below the range and at-or-above its
+// top edge. Those samples are still counted in the edge bins.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
 
 // Frequencies returns each bin's share of the total (0 when empty).
 func (h *Histogram) Frequencies() []float64 {
@@ -135,13 +148,111 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.Lo + (float64(i)+0.5)*h.Width
 }
 
-// String renders an ASCII histogram, one bin per line.
+// String renders an ASCII histogram, one bin per line, followed by an
+// outlier line whenever any samples were clamped into the edge bins.
 func (h *Histogram) String() string {
 	var b strings.Builder
 	freqs := h.Frequencies()
 	for i, f := range freqs {
 		bar := strings.Repeat("#", int(f*60+0.5))
 		fmt.Fprintf(&b, "%8.1f |%-60s| %5.1f%%\n", h.BinCenter(i), bar, f*100)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "outliers: under=%d over=%d\n", h.under, h.over)
+	}
+	return b.String()
+}
+
+// LogHistogram is a log-scale histogram: bin i spans [Lo*Base^i, Lo*Base^(i+1)).
+// It covers the many-decade spread of overlay route latencies (microseconds
+// on one LAN hop through seconds across a relay chain) that a fixed-width
+// Histogram cannot resolve. Out-of-range samples clamp into the edge bins
+// and are counted as outliers, like Histogram.
+type LogHistogram struct {
+	Lo     float64
+	Base   float64
+	Counts []int
+	total  int
+	// logLo/logBase cache math.Log of the bounds for Add.
+	logLo, logBase float64
+	under, over    int
+}
+
+// NewLogHistogram creates a log-scale histogram whose first bin starts at lo
+// with successive bin edges multiplied by base. lo and bins must be positive
+// and base must exceed 1.
+func NewLogHistogram(lo, base float64, bins int) *LogHistogram {
+	if bins <= 0 {
+		panic("metrics: histogram needs at least one bin")
+	}
+	if lo <= 0 {
+		panic("metrics: log histogram lower bound must be positive")
+	}
+	if base <= 1 {
+		panic("metrics: log histogram base must exceed 1")
+	}
+	return &LogHistogram{
+		Lo: lo, Base: base, Counts: make([]int, bins),
+		logLo: math.Log(lo), logBase: math.Log(base),
+	}
+}
+
+// Add records one sample. Non-positive samples count as underflow into the
+// first bin; samples past the top edge count as overflow into the last.
+func (h *LogHistogram) Add(x float64) {
+	i := 0
+	if x <= 0 {
+		h.under++
+	} else {
+		i = int(math.Floor((math.Log(x) - h.logLo) / h.logBase))
+		if i < 0 {
+			i = 0
+			h.under++
+		}
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+			h.over++
+		}
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total reports the number of samples recorded.
+func (h *LogHistogram) Total() int { return h.total }
+
+// Outliers reports how many samples fell below the range (including
+// non-positive values) and at-or-above its top edge.
+func (h *LogHistogram) Outliers() (under, over int) { return h.under, h.over }
+
+// BinLo returns the lower edge of bin i.
+func (h *LogHistogram) BinLo(i int) float64 {
+	return h.Lo * math.Pow(h.Base, float64(i))
+}
+
+// Frequencies returns each bin's share of the total (0 when empty).
+func (h *LogHistogram) Frequencies() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// String renders an ASCII histogram, one bin per line labeled by its lower
+// edge, followed by an outlier line whenever any samples were clamped.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	freqs := h.Frequencies()
+	for i, f := range freqs {
+		bar := strings.Repeat("#", int(f*60+0.5))
+		fmt.Fprintf(&b, "%12.3g |%-60s| %5.1f%%\n", h.BinLo(i), bar, f*100)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "outliers: under=%d over=%d\n", h.under, h.over)
 	}
 	return b.String()
 }

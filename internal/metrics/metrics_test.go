@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -223,6 +225,163 @@ func TestCounterMerge(t *testing.T) {
 	a.Merge(&empty) // merging a zero-value Counter is a no-op
 	if a.Get("x") != 5 {
 		t.Fatal("empty merge changed counts")
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if u, o := h.Outliers(); u != 0 || o != 0 {
+		t.Fatalf("fresh histogram outliers = %d,%d", u, o)
+	}
+	h.Add(25) // in range: no outlier
+	h.Add(-5) // below
+	h.Add(-1) // below
+	h.Add(50) // at top edge: clamped
+	h.Add(1000)
+	u, o := h.Outliers()
+	if u != 2 || o != 2 {
+		t.Fatalf("outliers = %d,%d, want 2,2", u, o)
+	}
+	// Clamped samples still count in the edge bins and the total.
+	if h.Counts[0] != 2 || h.Counts[4] != 2 || h.Total() != 5 {
+		t.Fatalf("counts = %v total = %d", h.Counts, h.Total())
+	}
+	if !strings.Contains(h.String(), "outliers: under=2 over=2") {
+		t.Fatalf("String missing outlier line:\n%s", h.String())
+	}
+	clean := NewHistogram(0, 10, 5)
+	clean.Add(25)
+	if strings.Contains(clean.String(), "outliers") {
+		t.Fatal("outlier line printed with no outliers")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 10, 4) // bins [1,10) [10,100) [100,1e3) [1e3,1e4)
+	for _, x := range []float64{1, 5, 50, 500, 5000, 9999} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 2}
+	for i := range want {
+		if h.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if u, o := h.Outliers(); u != 0 || o != 0 {
+		t.Fatalf("in-range samples counted as outliers: %d,%d", u, o)
+	}
+	h.Add(0)   // non-positive: underflow
+	h.Add(-3)  // non-positive: underflow
+	h.Add(0.5) // below range
+	h.Add(1e4) // at top edge
+	h.Add(1e6) // far above
+	if u, o := h.Outliers(); u != 3 || o != 2 {
+		t.Fatalf("outliers = %d,%d, want 3,2", u, o)
+	}
+	if h.Total() != 11 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.BinLo(0) != 1 || h.BinLo(2) != 100 {
+		t.Fatalf("BinLo wrong: %v %v", h.BinLo(0), h.BinLo(2))
+	}
+	f := h.Frequencies()
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	if !strings.Contains(h.String(), "outliers: under=3 over=2") {
+		t.Fatalf("String missing outlier line:\n%s", h.String())
+	}
+	for _, f := range []func(){
+		func() { NewLogHistogram(1, 2, 0) },
+		func() { NewLogHistogram(0, 2, 4) },
+		func() { NewLogHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCounterMergeHandles: Merge must fold in counts living in handle
+// cells on either side, and Names must interleave map-backed and
+// handle-backed names in one sorted order with no duplicates.
+func TestCounterMergeHandles(t *testing.T) {
+	var a, b Counter
+	a.Inc("m", 1)         // map-backed
+	a.Handle("h").Inc(2)  // cell-backed
+	b.Handle("m").Inc(10) // cell-backed on a name a holds in its map
+	b.Inc("h", 20)        // b's map, a's cell
+	b.Handle("z")         // resolved but never incremented
+	a.Merge(&b)
+	if a.Get("m") != 11 || a.Get("h") != 22 || a.Get("z") != 0 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	names := a.Names()
+	want := []string{"h", "m", "z"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	// A name living in both the map and a cell must be listed once and
+	// read as the sum of both stores.
+	var c Counter
+	c.Inc("dual", 1)        // map store
+	c.Handle("dual").Inc(2) // cell store, same name
+	if got := c.Names(); len(got) != 1 || got[0] != "dual" {
+		t.Fatalf("dual-store name duplicated: %v", got)
+	}
+	if c.Get("dual") != 3 {
+		t.Fatalf("dual-store read = %d, want 3", c.Get("dual"))
+	}
+}
+
+// TestShardedConcurrentWrites exercises the sharded counters' ownership
+// contract under the race detector: every shard writes only its own
+// Counter from its own goroutine (mixing map Incs and pre-resolved
+// handles), and the merged view read afterwards is exact.
+func TestShardedConcurrentWrites(t *testing.T) {
+	const shards, perShard = 8, 10000
+	s := NewSharded(shards)
+	hot := s.Handles("hot")
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Shard(i)
+			for j := 0; j < perShard; j++ {
+				hot[i].Inc(1)
+				c.Inc("cold", 2)
+			}
+			c.Inc(fmt.Sprintf("shard%d", i), int64(i))
+		}()
+	}
+	wg.Wait()
+	m := s.Merged()
+	if got := m.Get("hot"); got != shards*perShard {
+		t.Errorf("hot = %d, want %d", got, shards*perShard)
+	}
+	if got := s.Get("cold"); got != shards*perShard*2 {
+		t.Errorf("cold = %d, want %d", got, shards*perShard*2)
+	}
+	for i := 0; i < shards; i++ {
+		if got := m.Get(fmt.Sprintf("shard%d", i)); got != int64(i) {
+			t.Errorf("shard%d = %d, want %d", i, got, i)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"wow/internal/metrics"
 	"wow/internal/sim"
+	"wow/internal/trace"
 )
 
 // Boundary is a middlebox (NAT or firewall) connecting an inner address
@@ -186,6 +187,12 @@ type Network struct {
 	// routing and host-liveness checks, so the injector sees the actual
 	// delivering hosts. internal/faults installs this hook.
 	Perturb func(src, dst *Host, pm PathModel) (PathModel, bool)
+	// FlightRecorder, when set, receives a route terminal for every
+	// traced overlay packet the network drops (outcome "phys."+reason).
+	// The tracer must carry one buffer per engine shard (a single buffer
+	// for the unsharded network): drops emit into the executing shard's
+	// buffer, preserving the single-writer merge discipline.
+	FlightRecorder *trace.Tracer
 
 	sites      []*Site
 	root       *Realm
@@ -646,10 +653,44 @@ func deliverPacket(a any) {
 // shard for wire/route losses, destination's for host-side losses).
 func (n *Network) drop(sh int, reason string, p *Packet) {
 	n.statsSh[sh].Inc(reason, 1)
+	n.flightDiscard(sh, "phys."+reason, p.Payload)
 	if n.OnDrop != nil {
 		n.OnDrop(reason, p)
 	}
 	n.releasePacket(sh, p)
+}
+
+// flightDiscard emits a route terminal for a traced overlay payload dying
+// inside the physical layer — a wire/route drop, or a transport buffer
+// discarded at stream teardown. The drop is the last anyone would
+// otherwise hear of the packet. The record lands in the executing shard's
+// buffer (single-writer, like the stats counters) with that shard's clock,
+// and the payload's trace context is consumed so an object shared between
+// a retransmit buffer and the wire cannot terminate twice.
+func (n *Network) flightDiscard(sh int, outcome string, payload any) {
+	if n.FlightRecorder == nil {
+		return
+	}
+	t, ok := payload.(trace.Traced)
+	if !ok {
+		return
+	}
+	id, start := t.TraceContext()
+	if id == 0 {
+		return
+	}
+	b := n.FlightRecorder.Shard(sh)
+	now := b.Now()
+	b.Append(trace.Record{
+		Stream:  trace.StreamRoute,
+		T:       int64(now),
+		Trace:   id,
+		LatNs:   int64(now.Sub(start)),
+		Outcome: outcome,
+	})
+	if c, ok := payload.(trace.Cleared); ok {
+		c.ClearTrace()
+	}
 }
 
 // allocConnID issues a stream connection ID. The classic network keeps

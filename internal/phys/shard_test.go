@@ -2,6 +2,7 @@ package phys
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"wow/internal/sim"
@@ -308,5 +309,37 @@ func TestUnshardedStatsUnchanged(t *testing.T) {
 	total := net.TotalStats()
 	if total.Get("delivered") != 1 {
 		t.Fatalf("TotalStats.delivered = %d", total.Get("delivered"))
+	}
+}
+
+// TestTotalStatsConcurrentShardWrites: the per-shard stats counters obey
+// the same ownership rule as the engine — each shard's goroutine bumps
+// only its own Counter (map Incs and the pre-resolved delivered handle) —
+// and TotalStats merges them exactly. Run under -race this also proves
+// the hot-path counters introduce no cross-shard write sharing.
+func TestTotalStatsConcurrentShardWrites(t *testing.T) {
+	const shards, perShard = 4, 5000
+	eng := sim.NewSharded(7, shards, 1)
+	defer eng.Close()
+	net := NewShardedNetwork(eng, UniformLatency(PathModel{}, PathModel{}))
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perShard; j++ {
+				net.deliveredSh[i].Inc(1)
+				net.statsSh[i].Inc("lost.wire", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	total := net.TotalStats()
+	if got := total.Get("delivered"); got != shards*perShard {
+		t.Errorf("delivered = %d, want %d", got, shards*perShard)
+	}
+	if got := total.Get("lost.wire"); got != shards*perShard {
+		t.Errorf("lost.wire = %d, want %d", got, shards*perShard)
 	}
 }

@@ -3,6 +3,7 @@ package phys
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"wow/internal/sim"
 )
@@ -318,11 +319,41 @@ func (s *Stream) abort(err error) {
 	if s.ownsSock {
 		s.sock.Close()
 	}
+	s.flightDiscardBuffers()
 	if !s.closed {
 		s.closed = true
 		if s.onClose != nil {
 			s.onClose(err)
 		}
+	}
+}
+
+// flightDiscardBuffers gives every traced overlay packet still buffered in
+// a dying stream a route terminal: unacked and queued messages on the send
+// side, out-of-order segments held on the receive side. Buffers are walked
+// in sequence order so the emitted records are deterministic. A segment
+// whose payload already terminated elsewhere (delivered from a wire copy,
+// or discarded by the peer's teardown of the same shared object) has a
+// cleared context and stays silent.
+func (s *Stream) flightDiscardBuffers() {
+	if s.host.net.FlightRecorder == nil {
+		return
+	}
+	for _, buf := range []map[uint64]*streamSeg{s.sendBuf, s.oo} {
+		if len(buf) == 0 {
+			continue
+		}
+		seqs := make([]uint64, 0, len(buf))
+		for seq := range buf {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			s.host.net.flightDiscard(s.host.shard, "phys.stream_abort", buf[seq].Payload)
+		}
+	}
+	for _, seg := range s.queue {
+		s.host.net.flightDiscard(s.host.shard, "phys.stream_abort", seg.Payload)
 	}
 }
 

@@ -39,6 +39,9 @@ type Sharded struct {
 	// goroutine), so appends are race-free without locks; the coordinator
 	// drains every lane between windows.
 	lanes [][]crossEvent
+	// mergeScratch is the reusable per-destination lane gather for
+	// mergeLanes (the strided lanes layout can't be sliced directly).
+	mergeScratch [][]crossEvent
 
 	windowEnd Time // exclusive bound of the in-flight window
 	inWindow  bool
@@ -285,37 +288,56 @@ func (g *Sharded) RunUntil(t Time) {
 // Simulator.RunFor but across all shards.
 func (g *Sharded) RunFor(d Duration) { g.RunUntil(g.Now().Add(d)) }
 
+// MergeStable concatenates parts in slice order and stable-sorts the
+// result by when, yielding the canonical (timestamp, part index, emission
+// order) total order used for every deterministic cross-shard merge: the
+// engine's event lanes and the flight recorder's trace buffers. When
+// exactly one part is non-empty the result aliases it (no copy) — callers
+// that reuse the source storage must consume the result before clearing.
+func MergeStable[T any](parts [][]T, when func(T) Time) []T {
+	var buf []T
+	single := -1
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if single == -1 && buf == nil {
+			single = i
+			continue
+		}
+		if single >= 0 {
+			buf = append(buf, parts[single]...)
+			single = -1
+		}
+		buf = append(buf, p...)
+	}
+	if single >= 0 {
+		buf = parts[single]
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(buf, func(i, j int) bool { return when(buf[i]) < when(buf[j]) })
+	return buf
+}
+
 // mergeLanes drains every cross-shard lane into its destination shard in
 // the canonical order. Lanes are concatenated in source-shard order and
 // stable-sorted by timestamp, yielding the (timestamp, source shard,
 // emission order) total order the determinism contract promises.
 func (g *Sharded) mergeLanes() {
 	k := len(g.shards)
+	if g.mergeScratch == nil {
+		g.mergeScratch = make([][]crossEvent, k)
+	}
 	for to := 0; to < k; to++ {
-		var buf []crossEvent
-		single := -1
 		for from := 0; from < k; from++ {
-			lane := g.lanes[from*k+to]
-			if len(lane) == 0 {
-				continue
-			}
-			if single == -1 && buf == nil {
-				single = from
-				continue
-			}
-			if single >= 0 {
-				buf = append(buf, g.lanes[single*k+to]...)
-				single = -1
-			}
-			buf = append(buf, lane...)
+			g.mergeScratch[from] = g.lanes[from*k+to]
 		}
-		if single >= 0 {
-			buf = g.lanes[single*k+to]
-		}
+		buf := MergeStable(g.mergeScratch, func(e crossEvent) Time { return e.when })
 		if len(buf) == 0 {
 			continue
 		}
-		sort.SliceStable(buf, func(i, j int) bool { return buf[i].when < buf[j].when })
 		dst := g.shards[to]
 		for i := range buf {
 			dst.AtArg(buf[i].when, buf[i].fn, buf[i].arg)

@@ -214,3 +214,42 @@ func TestShardedCrossTieOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeStable pins the canonical cross-shard merge order shared by the
+// engine's event lanes and the flight recorder: concatenate parts in slice
+// order, stable-sort by timestamp — i.e. (time, part index, emission order).
+func TestMergeStable(t *testing.T) {
+	type ev struct {
+		when Time
+		tag  string
+	}
+	when := func(e ev) Time { return e.when }
+	parts := [][]ev{
+		{{20, "p0a"}, {20, "p0b"}, {50, "p0c"}},
+		{{10, "p1a"}, {20, "p1b"}},
+		nil,
+		{{20, "p3a"}},
+	}
+	got := MergeStable(parts, when)
+	want := []string{"p1a", "p0a", "p0b", "p1b", "p3a", "p0c"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, tag := range want {
+		if got[i].tag != tag {
+			t.Errorf("merged[%d] = %s, want %s", i, got[i].tag, tag)
+		}
+	}
+	if MergeStable([][]ev{nil, {}}, when) != nil {
+		t.Error("all-empty merge should be nil")
+	}
+	// Single non-empty part: documented to alias the source (no copy).
+	solo := []ev{{3, "x"}, {1, "y"}}
+	out := MergeStable([][]ev{nil, solo, nil}, when)
+	if len(out) != 2 || out[0].tag != "y" || out[1].tag != "x" {
+		t.Fatalf("single-part merge = %+v", out)
+	}
+	if &out[0] != &solo[0] {
+		t.Error("single-part merge no longer aliases its source; update the doc contract")
+	}
+}
